@@ -1,0 +1,250 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls out.
+//
+// Table benches run the corresponding experiment generator on a reduced
+// width sweep (so a single iteration stays at benchmark scale) with the
+// same algorithms and SOCs as the full cmd/tables run; the ablation
+// benches isolate individual pruning levels and solver choices.
+package soctam_test
+
+import (
+	"testing"
+
+	"soctam"
+	"soctam/internal/assign"
+	"soctam/internal/coopt"
+	"soctam/internal/experiments"
+	"soctam/internal/socdata"
+)
+
+// benchOpt is the reduced sweep used by the table benches.
+func benchOpt() experiments.Options {
+	return experiments.Options{
+		Widths:    []int{16, 32, 64},
+		MaxTAMs:   6,
+		NodeLimit: 200_000,
+	}
+}
+
+// heavyOpt trims further for the experiments dominated by the exhaustive
+// baseline on the largest SOC.
+func heavyOpt() experiments.Options {
+	return experiments.Options{
+		Widths:    []int{16, 24},
+		MaxTAMs:   4,
+		NodeLimit: 100_000,
+	}
+}
+
+func runExperiment(b *testing.B, name string, opt experiments.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(name, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2CoreAssign(b *testing.B) {
+	widths, times := socdata.Figure2()
+	in := &assign.Instance{Widths: widths, Times: times}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := assign.CoreAssign(in, 0); !ok {
+			b.Fatal("Core_assign aborted")
+		}
+	}
+}
+
+func BenchmarkTable1PartitionPruning(b *testing.B) {
+	runExperiment(b, "table1", experiments.Options{Widths: []int{44, 48}})
+}
+
+func BenchmarkTable2D695PPAW(b *testing.B)    { runExperiment(b, "table2", benchOpt()) }
+func BenchmarkTable3D695NPAW(b *testing.B)    { runExperiment(b, "table3", benchOpt()) }
+func BenchmarkTable4Ranges(b *testing.B)      { runExperiment(b, "table4", benchOpt()) }
+func BenchmarkTable5and6P21241(b *testing.B)  { runExperiment(b, "table5-6", benchOpt()) }
+func BenchmarkTable7P21241NPAW(b *testing.B)  { runExperiment(b, "table7", benchOpt()) }
+func BenchmarkTable8Ranges(b *testing.B)      { runExperiment(b, "table8", benchOpt()) }
+func BenchmarkTable9and10P31108(b *testing.B) { runExperiment(b, "table9-10", benchOpt()) }
+func BenchmarkTable11and12P31108(b *testing.B) {
+	runExperiment(b, "table11-12", benchOpt())
+}
+func BenchmarkTable13P31108NPAW(b *testing.B) { runExperiment(b, "table13", benchOpt()) }
+func BenchmarkTable14Ranges(b *testing.B)     { runExperiment(b, "table14", benchOpt()) }
+func BenchmarkTable15and16P93791(b *testing.B) {
+	runExperiment(b, "table15-16", benchOpt())
+}
+func BenchmarkTable17and18P93791(b *testing.B) {
+	runExperiment(b, "table17-18", heavyOpt())
+}
+func BenchmarkTable19P93791NPAW(b *testing.B) { runExperiment(b, "table19", heavyOpt()) }
+
+// --- Ablation benches -------------------------------------------------
+
+// BenchmarkAblationEarlyAbort measures pruning level two: Core_assign's
+// lines 18-20 abort against the running best during partition evaluation.
+func BenchmarkAblationEarlyAbort(b *testing.B) {
+	s := socdata.P21241()
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"with-abort", false}, {"without-abort", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := coopt.CoOptimize(s, 32, coopt.Options{
+					MaxTAMs:      6,
+					SkipFinal:    true,
+					NoEarlyAbort: tc.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEnumeration measures pruning level one: the Figure 3
+// Line-1 bound (odometer) against unrestricted nested loops (naive) and
+// against the library's canonical enumeration.
+func BenchmarkAblationEnumeration(b *testing.B) {
+	s := socdata.P21241()
+	for _, tc := range []struct {
+		name string
+		enum coopt.Enumeration
+	}{
+		{"canonical", coopt.EnumCanonical},
+		{"odometer", coopt.EnumOdometer},
+		{"naive", coopt.EnumNaive},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := coopt.PartitionEvaluate(s, 32, 5, coopt.Options{
+					SkipFinal:   true,
+					Enumeration: tc.enum,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFinalStep compares the exact engines for the final
+// optimization step (and skipping it entirely).
+func BenchmarkAblationFinalStep(b *testing.B) {
+	s := socdata.D695()
+	for _, tc := range []struct {
+		name string
+		opt  coopt.Options
+	}{
+		{"branch-and-bound", coopt.Options{MaxTAMs: 3}},
+		{"ilp", coopt.Options{MaxTAMs: 3, FinalSolver: coopt.SolverILP}},
+		{"skipped", coopt.Options{MaxTAMs: 3, SkipFinal: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var last soctam.Cycles
+			for i := 0; i < b.N; i++ {
+				res, err := coopt.CoOptimize(s, 32, tc.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Time
+			}
+			b.ReportMetric(float64(last), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationTieBreaks compares the Figure 1 tie-break rules
+// against plain lowest-index tie-breaking, reporting the testing time
+// each variant reaches (quality, not just speed).
+func BenchmarkAblationTieBreaks(b *testing.B) {
+	s := socdata.P93791()
+	for _, tc := range []struct {
+		name  string
+		plain bool
+	}{{"paper-tie-breaks", false}, {"plain", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var last soctam.Cycles
+			for i := 0; i < b.N; i++ {
+				res, err := coopt.CoOptimize(s, 32, coopt.Options{
+					MaxTAMs:         6,
+					SkipFinal:       true,
+					PlainCoreAssign: tc.plain,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.HeuristicTime
+			}
+			b.ReportMetric(float64(last), "cycles")
+		})
+	}
+}
+
+// --- Primitive benches -------------------------------------------------
+
+func BenchmarkDesignWrapperS38584(b *testing.B) {
+	s := socdata.D695()
+	core := &s.Cores[4]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := soctam.DesignWrapper(core, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimeTableP93791(b *testing.B) {
+	s := socdata.P93791()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for c := range s.Cores {
+			if _, err := soctam.TimeTable(&s.Cores[c], 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCoreAssignP93791(b *testing.B) {
+	s := socdata.P93791()
+	in, err := soctam.NewInstance(s, []int{9, 16, 23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		assign.CoreAssign(in, 0)
+	}
+}
+
+func BenchmarkExactAssignD695(b *testing.B) {
+	s := socdata.D695()
+	in, err := soctam.NewInstance(s, []int{5, 18, 33})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := assign.SolveExact(in, assign.ExactOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkILPAssignD695(b *testing.B) {
+	s := socdata.D695()
+	in, err := soctam.NewInstance(s, []int{8, 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := assign.SolveILP(in, assign.ILPOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command socgen emits the paper's benchmark SOCs as .soc files: the
+// reconstructed d695 and the synthesized industrial SOCs p21241, p31108
+// and p93791 (see DESIGN.md §4 for the synthesis rationale).
+//
+// Usage:
+//
+//	socgen -all -dir testdata
+//	socgen -name p93791            # writes p93791.soc to the current dir
+//	socgen -name d695 -stdout      # prints to standard output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"soctam"
+	"soctam/internal/socdata"
+)
+
+var generators = map[string]func() *soctam.SOC{
+	"d695":   soctam.D695,
+	"p21241": soctam.P21241,
+	"p31108": soctam.P31108,
+	"p93791": soctam.P93791,
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "socgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("name", "", "benchmark to emit: d695, p21241, p31108 or p93791")
+		all    = flag.Bool("all", false, "emit every benchmark")
+		dir    = flag.String("dir", ".", "output directory")
+		stdout = flag.Bool("stdout", false, "write to standard output instead of files")
+		stats  = flag.Bool("stats", false, "print the range summary (paper Tables 4/8/14) for each SOC")
+	)
+	flag.Parse()
+
+	var names []string
+	switch {
+	case *all:
+		names = []string{"d695", "p21241", "p31108", "p93791"}
+	case *name != "":
+		if _, ok := generators[*name]; !ok {
+			return fmt.Errorf("unknown benchmark %q", *name)
+		}
+		names = []string{*name}
+	default:
+		return fmt.Errorf("use -name <soc> or -all")
+	}
+
+	for _, n := range names {
+		s := generators[n]()
+		if *stdout {
+			if err := s.Encode(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			path := filepath.Join(*dir, n+".soc")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := s.Encode(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d cores, test complexity %d)\n", path, len(s.Cores), s.TestComplexity())
+		}
+		if *stats {
+			r := socdata.Summarize(s)
+			fmt.Printf("%s: %d logic cores (patterns %d-%d, I/Os %d-%d, chains %d-%d, lengths %d-%d), %d memory cores (patterns %d-%d, I/Os %d-%d)\n",
+				n,
+				r.NumLogic, r.LogicPatterns.Min, r.LogicPatterns.Max,
+				r.LogicIO.Min, r.LogicIO.Max,
+				r.LogicChains.Min, r.LogicChains.Max,
+				r.LogicChainLen.Min, r.LogicChainLen.Max,
+				r.NumMemory, r.MemPatterns.Min, r.MemPatterns.Max,
+				r.MemIO.Min, r.MemIO.Max,
+			)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Command wtam co-optimizes the wrapper/TAM architecture of an SOC: given
+// a .soc description (or a built-in benchmark) and a total TAM width, it
+// reports the best TAM count, width partition, core assignment and SOC
+// testing time.
+//
+// Usage:
+//
+//	wtam -benchmark d695 -width 32
+//	wtam -soc chip.soc -width 64 -tams 3
+//	wtam -benchmark p93791 -width 64 -exhaustive -max-tams 3
+//
+// With -tams 0 (the default) the TAM count is optimized too (problem
+// P_NPAW); a fixed -tams solves P_PAW. -exhaustive switches from the
+// paper's heuristic flow to the exact enumerate-and-solve baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soctam"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wtam:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		socPath    = flag.String("soc", "", "path to a .soc file describing the SOC")
+		benchmark  = flag.String("benchmark", "", "built-in benchmark SOC: d695, p21241, p31108 or p93791")
+		width      = flag.Int("width", 32, "total TAM width W (wires available for test access)")
+		tams       = flag.Int("tams", 0, "fixed number of TAMs B (0 = optimize the TAM count too)")
+		maxTAMs    = flag.Int("max-tams", 10, "largest TAM count explored when -tams is 0")
+		exhaustive = flag.Bool("exhaustive", false, "use the exact enumerate-and-solve baseline of [8] instead of the heuristic")
+		useILP     = flag.Bool("ilp", false, "use the ILP engine for exact optimization instead of branch and bound")
+		nodeLimit  = flag.Int64("node-limit", 0, "node budget per exact solve (0 = default)")
+		verbose    = flag.Bool("v", false, "print per-core wrapper usage on the chosen architecture")
+		gantt      = flag.Bool("gantt", false, "print the test schedule as a Gantt chart with utilization")
+	)
+	flag.Parse()
+
+	s, err := loadSOC(*socPath, *benchmark)
+	if err != nil {
+		return err
+	}
+	opt := soctam.Options{
+		MaxTAMs:   *maxTAMs,
+		NodeLimit: *nodeLimit,
+	}
+	if *useILP {
+		opt.FinalSolver = soctam.SolverILP
+	}
+
+	var res soctam.Result
+	switch {
+	case *exhaustive && *tams > 0:
+		res, err = soctam.Exhaustive(s, *width, *tams, opt)
+	case *exhaustive:
+		res, err = soctam.ExhaustiveRange(s, *width, opt)
+	case *tams > 0:
+		res, err = soctam.CoOptimizeFixedTAMs(s, *width, *tams, opt)
+	default:
+		res, err = soctam.CoOptimize(s, *width, opt)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("SOC:              %s\n", s)
+	fmt.Printf("total TAM width:  %d\n", res.TotalWidth)
+	fmt.Printf("TAMs:             %d\n", res.NumTAMs)
+	fmt.Printf("width partition:  %s\n", partitionString(res.Partition))
+	fmt.Printf("core assignment:  %s\n", res.Assignment.Vector())
+	fmt.Printf("testing time:     %d cycles\n", res.Time)
+	fmt.Printf("heuristic time:   %d cycles (before final optimization)\n", res.HeuristicTime)
+	fmt.Printf("proven optimal:   %v (for the chosen partition)\n", res.AssignmentOptimal)
+	fmt.Printf("partitions:       %d enumerated, %d evaluated to completion, %d pruned\n",
+		res.Stats.Enumerated, res.Stats.Completed, res.Stats.Aborted)
+	fmt.Printf("elapsed:          %s\n", res.Elapsed)
+
+	if *verbose {
+		if err := printWrappers(s, res); err != nil {
+			return err
+		}
+	}
+	if *gantt {
+		if err := printGantt(s, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printGantt renders the architecture's test schedule and its wire-cycle
+// utilization.
+func printGantt(s *soctam.SOC, res soctam.Result) error {
+	tl, err := soctam.BuildSchedule(s, res.Partition, res.Assignment.TAMOf)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ntest schedule:")
+	fmt.Print(tl.Gantt(72, func(core int) string { return s.Cores[core].Name }))
+	u := tl.Utilize()
+	fmt.Printf("wire-cycles:      %.1f%% busy, %.1f%% idle in wrappers, %.1f%% idle tails\n",
+		100*u.BusyFraction(),
+		100*float64(u.WrapperIdle)/float64(u.TotalWireCycles),
+		100*float64(u.TailIdle)/float64(u.TotalWireCycles))
+	return nil
+}
+
+func loadSOC(path, benchmark string) (*soctam.SOC, error) {
+	switch {
+	case path != "" && benchmark != "":
+		return nil, fmt.Errorf("use either -soc or -benchmark, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return soctam.ParseSOC(f)
+	case benchmark != "":
+		switch benchmark {
+		case "d695":
+			return soctam.D695(), nil
+		case "p21241":
+			return soctam.P21241(), nil
+		case "p31108":
+			return soctam.P31108(), nil
+		case "p93791":
+			return soctam.P93791(), nil
+		}
+		return nil, fmt.Errorf("unknown benchmark %q (have d695, p21241, p31108, p93791)", benchmark)
+	}
+	return nil, fmt.Errorf("one of -soc or -benchmark is required")
+}
+
+func partitionString(parts []int) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "+"
+		}
+		out += fmt.Sprint(p)
+	}
+	return out
+}
+
+// printWrappers reports, per core, the TAM it landed on and the wrapper
+// design it gets there.
+func printWrappers(s *soctam.SOC, res soctam.Result) error {
+	fmt.Println("\nper-core wrapper designs:")
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		tam := res.Assignment.TAMOf[i]
+		w := res.Partition[tam]
+		d, err := soctam.DesignWrapper(c, w)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  core %-10s TAM %d (width %2d): uses %2d wrapper chains, scan-in %4d, scan-out %4d, %8d cycles\n",
+			c.Name, tam+1, w, d.UsedWidth(), d.ScanIn, d.ScanOut, d.Time)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadSOCValidation(t *testing.T) {
+	if _, err := loadSOC("", ""); err == nil {
+		t.Error("neither -soc nor -benchmark accepted")
+	}
+	if _, err := loadSOC("x.soc", "d695"); err == nil {
+		t.Error("both -soc and -benchmark accepted")
+	}
+	if _, err := loadSOC("", "nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := loadSOC("/does/not/exist.soc", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	for _, name := range []string{"d695", "p21241", "p31108", "p93791"} {
+		s, err := loadSOC("", name)
+		if err != nil {
+			t.Errorf("benchmark %s: %v", name, err)
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("benchmark %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestLoadSOCFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chip.soc")
+	text := "soc chip\ncore a inputs 4 outputs 4 patterns 10 scan 8 8\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := loadSOC(path, "")
+	if err != nil {
+		t.Fatalf("loadSOC: %v", err)
+	}
+	if s.Name != "chip" || len(s.Cores) != 1 {
+		t.Errorf("parsed %q with %d cores", s.Name, len(s.Cores))
+	}
+	// Malformed file must fail.
+	bad := filepath.Join(dir, "bad.soc")
+	if err := os.WriteFile(bad, []byte("core before soc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSOC(bad, ""); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+func TestPartitionString(t *testing.T) {
+	if got := partitionString([]int{9, 16, 23}); got != "9+16+23" {
+		t.Errorf("partitionString = %q", got)
+	}
+	if got := partitionString(nil); got != "" {
+		t.Errorf("partitionString(nil) = %q", got)
+	}
+}

@@ -1,0 +1,63 @@
+// Partition-space pruning: why Partition_evaluate scales where exhaustive
+// enumeration cannot (the paper's Table 1 study).
+//
+// For p21241 the example counts, per TAM count B, how many width
+// partitions exist, how many sequences the paper's Figure 3 odometer
+// emits, and how many evaluations actually run to completion once the
+// best-known-time abort is active.
+//
+// Run with:
+//
+//	go run ./examples/partitions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soctam"
+	"soctam/internal/coopt"
+	"soctam/internal/partition"
+)
+
+func main() {
+	s := soctam.P21241()
+	const width = 48
+	fmt.Printf("SOC: %s, total TAM width %d\n\n", s, width)
+	fmt.Println("   B   unique P(W,B)   odometer emits   evaluated to completion   efficiency")
+
+	for b := 2; b <= 8; b++ {
+		unique := partition.Count(width, b)
+
+		// Count raw odometer output (enumeration pruning only).
+		odo, err := partition.NewOdometer(width, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emitted := 0
+		for {
+			if _, ok := odo.Next(); !ok {
+				break
+			}
+			emitted++
+		}
+
+		// Full Partition_evaluate with the early abort: how many
+		// evaluations survive to completion.
+		res, err := coopt.PartitionEvaluate(s, width, b, coopt.Options{
+			SkipFinal:   true,
+			Enumeration: coopt.EnumOdometer,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d  %14d  %15d  %24d   %9.4f\n",
+			b, unique, emitted, res.Stats.Completed,
+			float64(res.Stats.Completed)/float64(unique))
+	}
+
+	fmt.Println()
+	fmt.Println("the abort of Core_assign (Fig. 1 lines 18-20) kills almost every partition")
+	fmt.Println("after a few core placements - the paper's Table 1 reports the same ~1-2%")
+	fmt.Println("completion rates.")
+}

@@ -1,0 +1,62 @@
+// Wrapper design deep dive: the P_W problem on a single core.
+//
+// The example takes s38584 (the largest ISCAS'89 core in d695: 1426 scan
+// flip-flops in 16 fixed chains, 38 inputs, 304 outputs, 110 patterns)
+// and shows how its testing time falls as the TAM gets wider, where the
+// staircase flattens (Pareto-optimal widths), and what the wrapper
+// actually looks like at one width.
+//
+// Run with:
+//
+//	go run ./examples/wrapperdesign
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"soctam"
+)
+
+func main() {
+	s := soctam.D695()
+	core := &s.Cores[4] // s38584
+	fmt.Printf("core %s: %d inputs, %d outputs, %d patterns, %d scan chains (%d flip-flops)\n\n",
+		core.Name, core.Inputs, core.Outputs, core.Patterns,
+		len(core.ScanChains), core.ScanCells())
+
+	// The testing-time staircase T(w).
+	const maxWidth = 24
+	table, err := soctam.TimeTable(core, maxWidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("testing time vs TAM width (staircase):")
+	peak := float64(table[0])
+	for w := 1; w <= maxWidth; w++ {
+		bar := strings.Repeat("#", int(40*float64(table[w-1])/peak))
+		fmt.Printf("  w=%2d %8d cycles %s\n", w, table[w-1], bar)
+	}
+
+	// Only the breakpoints are worth offering the core.
+	pareto, err := soctam.ParetoWidths(core, maxWidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPareto-optimal widths: %v\n", pareto)
+	fmt.Println("(a TAM wider than the last breakpoint wastes wires on this core)")
+
+	// The wrapper design itself at width 8.
+	d, err := soctam.DesignWrapper(core, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrapper at width 8: %d chains used, scan-in %d, scan-out %d, %d cycles\n",
+		d.UsedWidth(), d.ScanIn, d.ScanOut, d.Time)
+	for i, ch := range d.Chains {
+		fmt.Printf("  wrapper chain %d: %2d input cells + scan%v + %2d output cells (in %d / out %d)\n",
+			i+1, ch.InputCells, ch.ScanChains, ch.OutputCells,
+			ch.ScanInLength(), ch.ScanOutLength())
+	}
+}

@@ -1,0 +1,337 @@
+package assign
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"soctam/internal/sched"
+	"soctam/internal/soc"
+)
+
+// figure2 builds the worked example of the paper's Section 2: five cores,
+// three TAMs of widths 32, 16 and 8 with the testing times of Fig. 2(a).
+func figure2() *Instance {
+	return &Instance{
+		Widths: []int{32, 16, 8},
+		Times: sched.Matrix{
+			{50, 100, 200},
+			{75, 95, 200},
+			{90, 100, 150},
+			{60, 75, 80},
+			{120, 120, 125},
+		},
+	}
+}
+
+func TestCoreAssignFigure2(t *testing.T) {
+	// The paper's Fig. 2(b): cores 1..5 land on TAMs 2,3,2,1,1 with final
+	// loads 180, 200, 200 cycles and SOC testing time 200.
+	a, ok := CoreAssign(figure2(), 0)
+	if !ok {
+		t.Fatal("CoreAssign aborted with no bound set")
+	}
+	if want := []int{1, 2, 1, 0, 0}; !reflect.DeepEqual(a.TAMOf, want) {
+		t.Errorf("assignment = %v, want %v (paper Fig. 2b)", a.TAMOf, want)
+	}
+	if want := []soc.Cycles{180, 200, 200}; !reflect.DeepEqual(a.Loads, want) {
+		t.Errorf("loads = %v, want %v", a.Loads, want)
+	}
+	if a.Time != 200 {
+		t.Errorf("testing time = %d, want 200", a.Time)
+	}
+	if got := a.Vector(); got != "(2,3,2,1,1)" {
+		t.Errorf("vector = %q, want (2,3,2,1,1)", got)
+	}
+	if err := a.Validate(figure2()); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestCoreAssignEarlyAbort(t *testing.T) {
+	// With a best-known bound below the heuristic result, the run must
+	// abort (paper lines 18-20) leaving some cores unassigned.
+	a, ok := CoreAssign(figure2(), 150)
+	if ok {
+		t.Fatal("CoreAssign completed despite bound 150 < 200")
+	}
+	if a.Time < 150 {
+		t.Errorf("aborted time %d below the bound", a.Time)
+	}
+	unassigned := 0
+	for _, j := range a.TAMOf {
+		if j < 0 {
+			unassigned++
+		}
+	}
+	if unassigned == 0 {
+		t.Error("abort left no cores unassigned")
+	}
+	// A bound above the result must not trigger the abort.
+	if _, ok := CoreAssign(figure2(), 201); !ok {
+		t.Error("CoreAssign aborted despite bound 201 > 200")
+	}
+	// An equal bound is "no improvement" and must abort.
+	if _, ok := CoreAssign(figure2(), 200); ok {
+		t.Error("CoreAssign completed despite equal bound (cannot improve)")
+	}
+}
+
+func TestTieBreakLookAhead(t *testing.T) {
+	// Two cores tied on the widest TAM; the look-ahead rule must pick the
+	// one that would be worse on the next-narrower TAM.
+	in := &Instance{
+		Widths: []int{4, 2},
+		Times: sched.Matrix{
+			{10, 30},
+			{10, 50},
+		},
+	}
+	a, _ := CoreAssign(in, 0)
+	if a.TAMOf[1] != 0 {
+		t.Errorf("look-ahead: core 2 on TAM %d, want TAM 1 (it is worse on the narrow TAM)", a.TAMOf[1]+1)
+	}
+	if a.Time != 30 {
+		t.Errorf("time = %d, want 30", a.Time)
+	}
+	// The plain variant ignores the look-ahead and pays for it.
+	p, _ := CoreAssignPlain(in, 0)
+	if p.Time != 50 {
+		t.Errorf("plain time = %d, want 50 (no look-ahead)", p.Time)
+	}
+}
+
+func TestCoreAssignSingleTAM(t *testing.T) {
+	in := &Instance{Widths: []int{16}, Times: sched.Matrix{{5}, {7}, {11}}}
+	a, ok := CoreAssign(in, 0)
+	if !ok || a.Time != 23 {
+		t.Errorf("single TAM time = %d ok=%v, want 23 true", a.Time, ok)
+	}
+}
+
+func socForTests() *soc.SOC {
+	return &soc.SOC{Name: "t", Cores: []soc.Core{
+		{Name: "a", Inputs: 20, Outputs: 10, Patterns: 50, ScanChains: []int{30, 30, 20}},
+		{Name: "b", Inputs: 100, Outputs: 80, Patterns: 20},
+		{Name: "c", Inputs: 8, Outputs: 8, Patterns: 400},
+		{Name: "d", Inputs: 40, Outputs: 40, Patterns: 10, ScanChains: []int{64, 64, 64, 64}},
+	}}
+}
+
+func TestNewInstance(t *testing.T) {
+	s := socForTests()
+	in, err := NewInstance(s, []int{16, 8})
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if in.NumCores() != 4 || in.NumTAMs() != 2 {
+		t.Fatalf("instance %dx%d, want 4x2", in.NumCores(), in.NumTAMs())
+	}
+	// Wider TAM must never be slower.
+	for i := range in.Times {
+		if in.Times[i][0] > in.Times[i][1] {
+			t.Errorf("core %d: T(16)=%d > T(8)=%d", i+1, in.Times[i][0], in.Times[i][1])
+		}
+	}
+}
+
+func TestNewInstanceErrors(t *testing.T) {
+	s := socForTests()
+	if _, err := NewInstance(s, nil); err == nil {
+		t.Error("no TAMs accepted")
+	}
+	if _, err := NewInstance(s, []int{0}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewInstance(&soc.SOC{}, []int{4}); err == nil {
+		t.Error("empty SOC accepted")
+	}
+}
+
+func TestFromTimeTableMatchesNewInstance(t *testing.T) {
+	s := socForTests()
+	widths := []int{12, 5, 3}
+	direct, err := NewInstance(s, widths)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	tables := make([][]soc.Cycles, len(s.Cores))
+	for i := range s.Cores {
+		tab, err := timeTableForTest(&s.Cores[i], 12)
+		if err != nil {
+			t.Fatalf("TimeTable: %v", err)
+		}
+		tables[i] = tab
+	}
+	viaTable, err := FromTimeTable(tables, widths)
+	if err != nil {
+		t.Fatalf("FromTimeTable: %v", err)
+	}
+	if !reflect.DeepEqual(direct.Times, viaTable.Times) {
+		t.Errorf("FromTimeTable times differ from NewInstance:\n%v\n%v", viaTable.Times, direct.Times)
+	}
+	if _, err := FromTimeTable(tables, []int{99}); err == nil {
+		t.Error("width outside table accepted")
+	}
+	if _, err := FromTimeTable(nil, widths); err == nil {
+		t.Error("no cores accepted")
+	}
+	if _, err := FromTimeTable(tables, nil); err == nil {
+		t.Error("no TAMs accepted")
+	}
+}
+
+func randomInstance(r *rand.Rand, maxCores, maxTAMs int) *Instance {
+	n := 1 + r.Intn(maxCores)
+	nb := 1 + r.Intn(maxTAMs)
+	widths := make([]int, nb)
+	for j := range widths {
+		widths[j] = 1 + r.Intn(32)
+	}
+	times := make(sched.Matrix, n)
+	for i := range times {
+		times[i] = make([]soc.Cycles, nb)
+		base := 10 + r.Intn(5000)
+		for j := range times[i] {
+			// Wider TAMs get (weakly) smaller times, mimicking wrapper
+			// staircases.
+			times[i][j] = soc.Cycles(base * 64 / (8 + widths[j]) * (1 + r.Intn(3)))
+		}
+	}
+	return &Instance{Widths: widths, Times: times}
+}
+
+func TestCoreAssignNeverBeatsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 7, 3)
+		a, ok := CoreAssign(in, 0)
+		if !ok {
+			return false
+		}
+		if err := a.Validate(in); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		_, want, err := sched.BruteForce(in.Times)
+		if err != nil {
+			return false
+		}
+		return a.Time >= want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 7, 3)
+		a, optimal, err := SolveExact(in, ExactOptions{})
+		if err != nil || !optimal {
+			t.Logf("seed %d: optimal=%v err=%v", seed, optimal, err)
+			return false
+		}
+		if err := a.Validate(in); err != nil {
+			return false
+		}
+		_, want, err := sched.BruteForce(in.Times)
+		if err != nil {
+			return false
+		}
+		return a.Time == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveILPMatchesExact(t *testing.T) {
+	// The two exact engines — combinatorial B&B and the Section 3.2 ILP —
+	// must agree on the optimal testing time.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 6, 3)
+		viaILP, proven, err := SolveILP(in, ILPOptions{})
+		if err != nil || !proven {
+			t.Logf("seed %d: ILP proven=%v err=%v", seed, proven, err)
+			return false
+		}
+		if err := viaILP.Validate(in); err != nil {
+			t.Logf("seed %d: ILP assignment invalid: %v", seed, err)
+			return false
+		}
+		viaBB, optimal, err := SolveExact(in, ExactOptions{})
+		if err != nil || !optimal {
+			return false
+		}
+		if viaILP.Time != viaBB.Time {
+			t.Logf("seed %d: ILP %d vs B&B %d", seed, viaILP.Time, viaBB.Time)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildILPShape(t *testing.T) {
+	in := figure2()
+	m := BuildILP(in)
+	// N·B + 1 variables, N + B constraints (paper Section 3.2).
+	if m.Prob.NumVars != 16 {
+		t.Errorf("NumVars = %d, want 16", m.Prob.NumVars)
+	}
+	if len(m.Prob.Constraints) != 8 {
+		t.Errorf("constraints = %d, want 8", len(m.Prob.Constraints))
+	}
+	ints := 0
+	for _, b := range m.Integer {
+		if b {
+			ints++
+		}
+	}
+	if ints != 15 {
+		t.Errorf("integer vars = %d, want 15 (T stays continuous)", ints)
+	}
+}
+
+func TestSolveILPFigure2Optimal(t *testing.T) {
+	in := figure2()
+	a, proven, err := SolveILP(in, ILPOptions{})
+	if err != nil {
+		t.Fatalf("SolveILP: %v", err)
+	}
+	if !proven {
+		t.Fatal("ILP did not prove optimality")
+	}
+	// The heuristic reaches 200 on this instance; the optimum is at most
+	// that, and exact search confirms 195: cores 2+5 on TAM1 (75+120),
+	// 1+3 on TAM2 (100+100)=200... exact value asserted against B&B.
+	b, optimal, err := SolveExact(in, ExactOptions{})
+	if err != nil || !optimal {
+		t.Fatalf("SolveExact: optimal=%v err=%v", optimal, err)
+	}
+	if a.Time != b.Time {
+		t.Errorf("ILP %d != B&B %d", a.Time, b.Time)
+	}
+	if a.Time > 200 {
+		t.Errorf("exact time %d worse than heuristic 200", a.Time)
+	}
+}
+
+func TestAssignmentValidateRejectsTampering(t *testing.T) {
+	in := figure2()
+	a, _ := CoreAssign(in, 0)
+	a.Time++
+	if err := a.Validate(in); err == nil {
+		t.Error("tampered makespan passed validation")
+	}
+}
+
+func timeTableForTest(c *soc.Core, maxW int) ([]soc.Cycles, error) {
+	return wrapperTimeTable(c, maxW)
+}

@@ -1,0 +1,12 @@
+package assign
+
+import (
+	"soctam/internal/soc"
+	"soctam/internal/wrapper"
+)
+
+// wrapperTimeTable re-exports wrapper.TimeTable for tests comparing
+// FromTimeTable against NewInstance.
+func wrapperTimeTable(c *soc.Core, maxW int) ([]soc.Cycles, error) {
+	return wrapper.TimeTable(c, maxW)
+}

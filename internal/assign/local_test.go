@@ -1,0 +1,78 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"soctam/internal/sched"
+	"soctam/internal/soc"
+)
+
+func TestLocalImproveNeverWorsens(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 10, 4)
+		a, ok := CoreAssign(in, 0)
+		if !ok {
+			return false
+		}
+		b := LocalImprove(in, a)
+		if err := b.Validate(in); err != nil {
+			t.Logf("seed %d: improved assignment invalid: %v", seed, err)
+			return false
+		}
+		if b.Time > a.Time {
+			t.Logf("seed %d: local search worsened %d -> %d", seed, a.Time, b.Time)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalImproveFindsObviousMove(t *testing.T) {
+	// Both cores piled on TAM 1; moving one to TAM 2 is an obvious win.
+	in := &Instance{
+		Widths: []int{8, 8},
+		Times:  sched.Matrix{{10, 10}, {10, 10}},
+	}
+	a := Assignment{TAMOf: []int{0, 0}, Loads: []soc.Cycles{20, 0}, Time: 20}
+	b := LocalImprove(in, a)
+	if b.Time != 10 {
+		t.Errorf("local search time = %d, want 10", b.Time)
+	}
+}
+
+func TestLocalImproveFindsSwap(t *testing.T) {
+	// Each core sits on its slow TAM; only a swap (not a single move)
+	// fixes both: core 0 is fast on TAM 2, core 1 on TAM 1, and the
+	// third core keeps single moves from helping.
+	in := &Instance{
+		Widths: []int{8, 8},
+		Times: sched.Matrix{
+			{100, 10},
+			{10, 100},
+			{50, 50},
+		},
+	}
+	a := Assignment{TAMOf: []int{0, 1, 0}, Loads: []soc.Cycles{150, 100}, Time: 150}
+	b := LocalImprove(in, a)
+	if b.Time > 70 {
+		t.Errorf("local search time = %d, want <= 70 (swap cores 1 and 2)", b.Time)
+	}
+}
+
+func TestLocalImproveLeavesOptimumAlone(t *testing.T) {
+	in := figure2()
+	opt, optimal, err := SolveExact(in, ExactOptions{})
+	if err != nil || !optimal {
+		t.Fatalf("SolveExact: optimal=%v err=%v", optimal, err)
+	}
+	again := LocalImprove(in, opt)
+	if again.Time != opt.Time {
+		t.Errorf("local search changed the optimum: %d -> %d", opt.Time, again.Time)
+	}
+}

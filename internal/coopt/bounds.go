@@ -1,0 +1,49 @@
+package coopt
+
+import (
+	"soctam/internal/soc"
+)
+
+// LowerBound returns an architecture-independent lower bound on the SOC
+// testing time for a total TAM width W: no TAM count, width partition,
+// assignment or wrapper design can beat it. It is the maximum of two
+// classical bounds:
+//
+//   - the bottleneck-core bound max_i T_i(W): a core cannot finish faster
+//     than on a TAM owning all W wires (this is the bound the paper
+//     invokes for p31108, whose "Core 18" pins the SOC testing time once
+//     its staircase bottoms out);
+//   - the test-data-volume bound ceil(Σ_i min_w w·T_i(w) / W): TAM wires
+//     deliver at most W bits per cycle in aggregate, and w·T_i(w) is the
+//     wire-cycle cost of core i on a width-w TAM, so every schedule
+//     spends at least Σ_i min_w w·T_i(w) wire-cycles.
+func LowerBound(s *soc.SOC, width int) (soc.Cycles, error) {
+	tables, err := TimeTables(s, width)
+	if err != nil {
+		return 0, err
+	}
+	return lowerBoundFromTables(tables, width), nil
+}
+
+func lowerBoundFromTables(tables [][]soc.Cycles, width int) soc.Cycles {
+	var bottleneck soc.Cycles
+	var volume int64
+	for _, table := range tables {
+		if t := table[width-1]; t > bottleneck {
+			bottleneck = t
+		}
+		best := int64(-1)
+		for w := 1; w <= width; w++ {
+			cost := int64(w) * int64(table[w-1])
+			if best < 0 || cost < best {
+				best = cost
+			}
+		}
+		volume += best
+	}
+	volumeBound := soc.Cycles((volume + int64(width) - 1) / int64(width))
+	if volumeBound > bottleneck {
+		return volumeBound
+	}
+	return bottleneck
+}

@@ -1,0 +1,298 @@
+package coopt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"soctam/internal/assign"
+	"soctam/internal/partition"
+	"soctam/internal/soc"
+)
+
+// testSOC is a small heterogeneous SOC: scan-heavy, I/O-heavy, pattern-
+// heavy and balanced cores, so different widths genuinely favor
+// different cores.
+func testSOC() *soc.SOC {
+	return &soc.SOC{Name: "mini", Cores: []soc.Core{
+		{Name: "scan", Inputs: 20, Outputs: 10, Patterns: 60, ScanChains: []int{40, 40, 30, 30}},
+		{Name: "wide", Inputs: 120, Outputs: 90, Patterns: 25},
+		{Name: "mem", Inputs: 10, Outputs: 10, Patterns: 500},
+		{Name: "mix", Inputs: 30, Outputs: 30, Patterns: 40, ScanChains: []int{25, 25}},
+		{Name: "tiny", Inputs: 5, Outputs: 3, Patterns: 15, ScanChains: []int{12}},
+		{Name: "bulk", Inputs: 60, Outputs: 60, Patterns: 80, ScanChains: []int{50, 50, 50}},
+	}}
+}
+
+func TestTimeTables(t *testing.T) {
+	s := testSOC()
+	tables, err := TimeTables(s, 16)
+	if err != nil {
+		t.Fatalf("TimeTables: %v", err)
+	}
+	if len(tables) != len(s.Cores) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(s.Cores))
+	}
+	for i, table := range tables {
+		if len(table) != 16 {
+			t.Fatalf("core %d: table length %d, want 16", i+1, len(table))
+		}
+		for w := 1; w < 16; w++ {
+			if table[w] > table[w-1] {
+				t.Errorf("core %d: T(%d) > T(%d)", i+1, w+1, w)
+			}
+		}
+	}
+	if _, err := TimeTables(s, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := TimeTables(&soc.SOC{}, 8); err == nil {
+		t.Error("empty SOC accepted")
+	}
+}
+
+func TestPartitionEvaluateFixedB(t *testing.T) {
+	res, err := PartitionEvaluate(testSOC(), 12, 2, Options{})
+	if err != nil {
+		t.Fatalf("PartitionEvaluate: %v", err)
+	}
+	if res.NumTAMs != 2 || len(res.Partition) != 2 {
+		t.Fatalf("NumTAMs = %d partition %v, want 2 TAMs", res.NumTAMs, res.Partition)
+	}
+	if res.Partition[0]+res.Partition[1] != 12 {
+		t.Errorf("partition %v does not sum to 12", res.Partition)
+	}
+	if res.Partition[0] > res.Partition[1] {
+		t.Errorf("partition %v not canonical", res.Partition)
+	}
+	if res.Stats.Enumerated != res.Stats.Completed+res.Stats.Aborted {
+		t.Errorf("stats inconsistent: %+v", res.Stats)
+	}
+	if res.Stats.Improved < 1 || res.Stats.Completed < 1 {
+		t.Errorf("stats show no work: %+v", res.Stats)
+	}
+	if res.Time > res.HeuristicTime {
+		t.Errorf("final time %d worse than heuristic %d", res.Time, res.HeuristicTime)
+	}
+	if !res.AssignmentOptimal {
+		t.Error("final step did not prove optimality on this tiny instance")
+	}
+	if err := res.Assignment.Validate(mustInstance(t, res)); err != nil {
+		t.Errorf("final assignment invalid: %v", err)
+	}
+}
+
+func TestEarlyAbortDoesNotChangeResult(t *testing.T) {
+	// Pruning levels must never alter the chosen testing time, only the
+	// work done.
+	s := testSOC()
+	base, err := CoOptimize(s, 14, Options{MaxTAMs: 4})
+	if err != nil {
+		t.Fatalf("CoOptimize: %v", err)
+	}
+	noAbort, err := CoOptimize(s, 14, Options{MaxTAMs: 4, NoEarlyAbort: true})
+	if err != nil {
+		t.Fatalf("CoOptimize(NoEarlyAbort): %v", err)
+	}
+	if base.HeuristicTime != noAbort.HeuristicTime || base.Time != noAbort.Time {
+		t.Errorf("early abort changed results: %d/%d vs %d/%d",
+			base.HeuristicTime, base.Time, noAbort.HeuristicTime, noAbort.Time)
+	}
+	if base.Stats.Aborted == 0 {
+		t.Error("early abort never fired on the base run")
+	}
+	if noAbort.Stats.Aborted != 0 {
+		t.Error("NoEarlyAbort still aborted evaluations")
+	}
+	if noAbort.Stats.Completed < base.Stats.Completed {
+		t.Error("disabling the abort reduced completed evaluations")
+	}
+}
+
+func TestEnumerationStrategiesSameBest(t *testing.T) {
+	// All three enumeration strategies cover every unique partition, so
+	// the best heuristic testing time must be identical; only the work
+	// differs (canonical < odometer < naive).
+	s := testSOC()
+	results := map[Enumeration]Result{}
+	for _, enum := range []Enumeration{EnumCanonical, EnumOdometer, EnumNaive} {
+		res, err := PartitionEvaluate(s, 12, 3, Options{SkipFinal: true, Enumeration: enum})
+		if err != nil {
+			t.Fatalf("PartitionEvaluate(%v): %v", enum, err)
+		}
+		results[enum] = res
+	}
+	if a, b := results[EnumCanonical].HeuristicTime, results[EnumOdometer].HeuristicTime; a != b {
+		t.Errorf("canonical best %d != odometer best %d", a, b)
+	}
+	if a, b := results[EnumOdometer].HeuristicTime, results[EnumNaive].HeuristicTime; a != b {
+		t.Errorf("odometer best %d != naive best %d", a, b)
+	}
+	canN := results[EnumCanonical].Stats.Enumerated
+	odoN := results[EnumOdometer].Stats.Enumerated
+	naiveN := results[EnumNaive].Stats.Enumerated
+	if canN > odoN || odoN > naiveN {
+		t.Errorf("enumeration counts out of order: canonical %d, odometer %d, naive %d", canN, odoN, naiveN)
+	}
+	if want := partition.Count(12, 3); int64(canN) != want {
+		t.Errorf("canonical enumerated %d partitions, want P(12,3) = %d", canN, want)
+	}
+}
+
+func TestSkipFinal(t *testing.T) {
+	res, err := PartitionEvaluate(testSOC(), 10, 2, Options{SkipFinal: true})
+	if err != nil {
+		t.Fatalf("PartitionEvaluate: %v", err)
+	}
+	if res.Time != res.HeuristicTime {
+		t.Errorf("SkipFinal: final %d != heuristic %d", res.Time, res.HeuristicTime)
+	}
+	if res.AssignmentOptimal {
+		t.Error("SkipFinal claims proven optimality")
+	}
+}
+
+func TestCoOptimizeVsExhaustive(t *testing.T) {
+	// The heuristic flow may never beat the exhaustive optimum, and on
+	// this small SOC it should land within 25% of it.
+	s := testSOC()
+	opt := Options{MaxTAMs: 3}
+	heur, err := CoOptimize(s, 12, opt)
+	if err != nil {
+		t.Fatalf("CoOptimize: %v", err)
+	}
+	exact, err := ExhaustiveRange(s, 12, opt)
+	if err != nil {
+		t.Fatalf("ExhaustiveRange: %v", err)
+	}
+	if !exact.AssignmentOptimal {
+		t.Fatal("exhaustive run not fully optimal")
+	}
+	if heur.Time < exact.Time {
+		t.Errorf("heuristic %d beats exhaustive optimum %d", heur.Time, exact.Time)
+	}
+	if float64(heur.Time) > 1.25*float64(exact.Time) {
+		t.Errorf("heuristic %d more than 25%% above optimum %d", heur.Time, exact.Time)
+	}
+}
+
+func TestExhaustiveFixedB(t *testing.T) {
+	s := testSOC()
+	res, err := Exhaustive(s, 10, 2, Options{})
+	if err != nil {
+		t.Fatalf("Exhaustive: %v", err)
+	}
+	if res.Stats.Enumerated != 5 { // partitions of 10 into 2 parts
+		t.Errorf("evaluated %d partitions, want 5", res.Stats.Enumerated)
+	}
+	if !res.AssignmentOptimal {
+		t.Error("small exhaustive run not optimal")
+	}
+	// A heuristic run at the same B cannot do better.
+	heur, err := PartitionEvaluate(s, 10, 2, Options{})
+	if err != nil {
+		t.Fatalf("PartitionEvaluate: %v", err)
+	}
+	if heur.Time < res.Time {
+		t.Errorf("heuristic %d beats exhaustive %d at fixed B", heur.Time, res.Time)
+	}
+}
+
+func TestCoOptimizeWiderNeverWorse(t *testing.T) {
+	// More TAM wires can only help: T(W=16) <= T(W=8).
+	s := testSOC()
+	t8, err := CoOptimize(s, 8, Options{MaxTAMs: 3})
+	if err != nil {
+		t.Fatalf("CoOptimize(8): %v", err)
+	}
+	t16, err := CoOptimize(s, 16, Options{MaxTAMs: 3})
+	if err != nil {
+		t.Fatalf("CoOptimize(16): %v", err)
+	}
+	if t16.Time > t8.Time {
+		t.Errorf("T(16) = %d worse than T(8) = %d", t16.Time, t8.Time)
+	}
+}
+
+func TestCoOptimizeDeterministic(t *testing.T) {
+	s := testSOC()
+	a, err := CoOptimize(s, 12, Options{MaxTAMs: 4})
+	if err != nil {
+		t.Fatalf("CoOptimize: %v", err)
+	}
+	b, err := CoOptimize(s, 12, Options{MaxTAMs: 4})
+	if err != nil {
+		t.Fatalf("CoOptimize: %v", err)
+	}
+	if a.Time != b.Time || !reflect.DeepEqual(a.Partition, b.Partition) ||
+		!reflect.DeepEqual(a.Assignment.TAMOf, b.Assignment.TAMOf) {
+		t.Error("CoOptimize is not deterministic")
+	}
+}
+
+func TestCoOptimizeILPFinal(t *testing.T) {
+	s := testSOC()
+	bb, err := CoOptimize(s, 10, Options{MaxTAMs: 2, FinalSolver: SolverBB})
+	if err != nil {
+		t.Fatalf("CoOptimize(BB): %v", err)
+	}
+	ilpRes, err := CoOptimize(s, 10, Options{MaxTAMs: 2, FinalSolver: SolverILP})
+	if err != nil {
+		t.Fatalf("CoOptimize(ILP): %v", err)
+	}
+	if bb.Time != ilpRes.Time {
+		t.Errorf("final step disagrees: B&B %d vs ILP %d", bb.Time, ilpRes.Time)
+	}
+}
+
+func TestMaxTAMsCappedByWidth(t *testing.T) {
+	// Width 3 cannot host 10 TAMs; the sweep must cap B at W.
+	res, err := CoOptimize(testSOC(), 3, Options{MaxTAMs: 10})
+	if err != nil {
+		t.Fatalf("CoOptimize: %v", err)
+	}
+	if res.NumTAMs > 3 {
+		t.Errorf("NumTAMs = %d with width 3", res.NumTAMs)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := testSOC()
+	if _, err := PartitionEvaluate(s, 0, 2, Options{}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := PartitionEvaluate(s, 4, 8, Options{}); err == nil {
+		t.Error("B > W accepted")
+	}
+	if _, err := Exhaustive(s, 4, 8, Options{}); err == nil {
+		// Enumerate(4,8) yields nothing; the run must fail loudly rather
+		// than return an empty result.
+		t.Error("exhaustive with B > W returned no error")
+	}
+	if _, err := CoOptimize(&soc.SOC{}, 8, Options{}); err == nil {
+		t.Error("empty SOC accepted")
+	}
+}
+
+func TestSolverString(t *testing.T) {
+	if SolverBB.String() != "branch-and-bound" || SolverILP.String() != "ilp" {
+		t.Error("solver names wrong")
+	}
+	if !strings.HasPrefix(Solver(9).String(), "Solver(") {
+		t.Error("unknown solver string")
+	}
+}
+
+// mustInstance rebuilds the assign instance for a result's partition.
+func mustInstance(t *testing.T, res Result) *assign.Instance {
+	t.Helper()
+	tables, err := TimeTables(testSOC(), res.TotalWidth)
+	if err != nil {
+		t.Fatalf("TimeTables: %v", err)
+	}
+	in, err := assign.FromTimeTable(tables, res.Partition)
+	if err != nil {
+		t.Fatalf("FromTimeTable: %v", err)
+	}
+	return in
+}

@@ -1,0 +1,147 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4): the Figure 2 worked example, the Table 1
+// partition-pruning study, the P_PAW comparisons of the exhaustive [8]
+// baseline against the new co-optimization method (Tables 2, 5-6, 9-12,
+// 15-18), the P_NPAW sweeps (Tables 3, 7, 13, 19) and the core-data range
+// tables (4, 8, 14).
+//
+// Each experiment is a named Generator in the registry; cmd/tables runs
+// them from the command line and bench_test.go wraps each in a benchmark.
+// Experiments print the same rows and columns as the corresponding paper
+// table; EXPERIMENTS.md records the measured values against the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"soctam/internal/coopt"
+	"soctam/internal/report"
+	"soctam/internal/soc"
+	"soctam/internal/socdata"
+)
+
+// Options tunes experiment scale. The zero value reproduces the paper's
+// parameters.
+type Options struct {
+	// Widths are the total TAM widths swept; nil means the paper's
+	// {16, 24, 32, 40, 48, 56, 64}.
+	Widths []int
+	// MaxTAMs bounds B in the P_NPAW sweeps; <= 0 means 10.
+	MaxTAMs int
+	// NodeLimit caps each exact solve; <= 0 uses the solver default.
+	NodeLimit int64
+	// FinalSolver picks the exact engine for final optimization.
+	FinalSolver coopt.Solver
+}
+
+func (o Options) widths() []int {
+	if len(o.Widths) > 0 {
+		return o.Widths
+	}
+	return []int{16, 24, 32, 40, 48, 56, 64}
+}
+
+func (o Options) maxTAMs() int {
+	if o.MaxTAMs <= 0 {
+		return 10
+	}
+	return o.MaxTAMs
+}
+
+func (o Options) cooptOptions() coopt.Options {
+	return coopt.Options{
+		MaxTAMs:     o.maxTAMs(),
+		FinalSolver: o.FinalSolver,
+		NodeLimit:   o.NodeLimit,
+	}
+}
+
+// Generator produces the report tables of one experiment.
+type Generator func(Options) ([]*report.Table, error)
+
+// registry maps experiment names to generators. Keys follow the paper's
+// artifact numbering; paired old/new tables share a key (e.g. table5-6).
+var registry = map[string]Generator{
+	"figure2":    Figure2,
+	"table1":     Table1,
+	"table2":     Table2,
+	"table3":     Table3,
+	"table4":     Table4,
+	"table5-6":   Table5and6,
+	"table7":     Table7,
+	"table8":     Table8,
+	"table9-10":  Table9and10,
+	"table11-12": Table11and12,
+	"table13":    Table13,
+	"table14":    Table14,
+	"table15-16": Table15and16,
+	"table17-18": Table17and18,
+	"table19":    Table19,
+}
+
+// Names returns the registered experiment names in order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by name.
+func Run(name string, opt Options) ([]*report.Table, error) {
+	gen, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return gen(opt)
+}
+
+// RunAll executes every experiment in registry order, writing rendered
+// tables to w.
+func RunAll(opt Options, w io.Writer) error {
+	for _, name := range orderedNames() {
+		tables, err := Run(name, opt)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		if _, err := fmt.Fprintf(w, "==== %s ====\n\n", name); err != nil {
+			return err
+		}
+		if err := report.RenderAll(w, tables); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// orderedNames returns registry keys in paper order (figure first, then
+// tables numerically).
+func orderedNames() []string {
+	return []string{
+		"figure2", "table1", "table2", "table3", "table4", "table5-6",
+		"table7", "table8", "table9-10", "table11-12", "table13",
+		"table14", "table15-16", "table17-18", "table19",
+	}
+}
+
+// benchmarkSOC resolves the paper's SOCs by name.
+func benchmarkSOC(name string) (*soc.SOC, error) {
+	switch name {
+	case "d695":
+		return socdata.D695(), nil
+	case "p21241":
+		return socdata.P21241(), nil
+	case "p31108":
+		return socdata.P31108(), nil
+	case "p93791":
+		return socdata.P93791(), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown benchmark SOC %q", name)
+}

@@ -1,0 +1,451 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs, built from scratch on the standard library.
+//
+// The DATE 2002 paper solves its P_AW integer linear program with
+// lpsolve [2]; no Go bindings for lpsolve exist, so this package provides
+// the linear-programming substrate (and package ilp the branch-and-bound
+// layer) needed to reproduce the paper's exact "final optimization step"
+// and the exhaustive baseline.
+//
+// Problems are stated over n structural variables x >= 0 with dense
+// coefficient rows and <=, >= or = comparisons. The solver converts to
+// standard form with slack, surplus and artificial columns, runs a
+// phase-1 feasibility simplex followed by a phase-2 optimization, and
+// guards against cycling by switching from Dantzig's rule to Bland's rule
+// after a run of degenerate pivots.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int8
+
+// Constraint operators.
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // =
+)
+
+// String returns the conventional spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Op(%d)", int8(o))
+}
+
+// Constraint is one linear constraint: Coeffs·x Op RHS. Coeffs shorter
+// than the variable count are zero-extended.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // zero-extended to NumVars
+	Maximize    bool      // default is minimization
+	Constraints []Constraint
+}
+
+// AddConstraint appends the constraint coeffs·x op rhs.
+func (p *Problem) AddConstraint(coeffs []float64, op Op, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Op: op, RHS: rhs})
+}
+
+// Clone returns a deep copy of the problem; branch-and-bound nodes extend
+// clones with branching constraints.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		NumVars:     p.NumVars,
+		Objective:   append([]float64(nil), p.Objective...),
+		Maximize:    p.Maximize,
+		Constraints: make([]Constraint, len(p.Constraints)),
+	}
+	for i, c := range p.Constraints {
+		q.Constraints[i] = Constraint{
+			Coeffs: append([]float64(nil), c.Coeffs...),
+			Op:     c.Op,
+			RHS:    c.RHS,
+		}
+	}
+	return q
+}
+
+// Eval returns the objective value of x under the problem's own sense.
+func (p *Problem) Eval(x []float64) float64 {
+	v := 0.0
+	for j, c := range p.Objective {
+		if j < len(x) {
+			v += c * x[j]
+		}
+	}
+	return v
+}
+
+// Feasible reports whether x satisfies every constraint and the
+// non-negativity bounds within tol.
+func (p *Problem) Feasible(x []float64, tol float64) bool {
+	if len(x) < p.NumVars {
+		return false
+	}
+	for j := 0; j < p.NumVars; j++ {
+		if x[j] < -tol {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		lhs := 0.0
+		for j, a := range c.Coeffs {
+			lhs += a * x[j]
+		}
+		switch c.Op {
+		case LE:
+			if lhs > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Status reports the outcome of a solve.
+type Status uint8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Solution holds the result of Solve. X and Objective are meaningful only
+// for Status == Optimal; Objective is reported in the problem's own sense.
+type Solution struct {
+	Status     Status
+	X          []float64
+	Objective  float64
+	Iterations int
+}
+
+const (
+	eps     = 1e-9
+	feasTol = 1e-7
+)
+
+// Solve runs the two-phase simplex. It returns an error only for
+// malformed input (negative variable counts, oversized rows); numerical
+// outcomes are reported through Solution.Status.
+func (p *Problem) Solve() (Solution, error) {
+	n := p.NumVars
+	if n < 0 {
+		return Solution{}, fmt.Errorf("lp: negative variable count %d", n)
+	}
+	if len(p.Objective) > n {
+		return Solution{}, fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), n)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > n {
+			return Solution{}, fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), n)
+		}
+	}
+	t := newTableau(p)
+	iters := 0
+
+	// Phase 1: minimize the sum of artificials.
+	if t.nArt > 0 {
+		cost := make([]float64, t.total)
+		for j := t.artStart; j < t.total; j++ {
+			cost[j] = 1
+		}
+		obj, status, it := t.run(cost, nil)
+		iters += it
+		if status == IterLimit {
+			return Solution{Status: IterLimit, Iterations: iters}, nil
+		}
+		if obj > feasTol {
+			return Solution{Status: Infeasible, Iterations: iters}, nil
+		}
+		t.evictArtificials()
+	}
+
+	// Phase 2: minimize the structural objective with artificials banned.
+	cost := make([]float64, t.total)
+	for j, c := range p.Objective {
+		if p.Maximize {
+			cost[j] = -c
+		} else {
+			cost[j] = c
+		}
+	}
+	banned := make([]bool, t.total)
+	for j := t.artStart; j < t.total; j++ {
+		banned[j] = true
+	}
+	obj, status, it := t.run(cost, banned)
+	iters += it
+	if status != Optimal {
+		return Solution{Status: status, Iterations: iters}, nil
+	}
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.rows[i][t.total]
+		}
+	}
+	if p.Maximize {
+		obj = -obj
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj, Iterations: iters}, nil
+}
+
+// tableau is the dense simplex tableau: m rows over total columns plus a
+// trailing RHS column.
+type tableau struct {
+	rows     [][]float64
+	basis    []int
+	total    int // structural + slack + artificial columns
+	artStart int
+	nArt     int
+	maxIter  int
+}
+
+func newTableau(p *Problem) *tableau {
+	n := p.NumVars
+	m := len(p.Constraints)
+	type rowSpec struct {
+		a   []float64
+		op  Op
+		rhs float64
+	}
+	specs := make([]rowSpec, m)
+	nSlack, nArt := 0, 0
+	for i, c := range p.Constraints {
+		a := make([]float64, n)
+		copy(a, c.Coeffs)
+		op, rhs := c.Op, c.RHS
+		if rhs < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		specs[i] = rowSpec{a, op, rhs}
+		if op != EQ {
+			nSlack++
+		}
+		if op != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	t := &tableau{
+		rows:     make([][]float64, m),
+		basis:    make([]int, m),
+		total:    total,
+		artStart: n + nSlack,
+		nArt:     nArt,
+		maxIter:  10000 + 50*(m+total),
+	}
+	slack, art := n, n+nSlack
+	for i, s := range specs {
+		row := make([]float64, total+1)
+		copy(row, s.a)
+		row[total] = s.rhs
+		switch s.op {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.rows[i] = row
+	}
+	return t
+}
+
+// run performs simplex iterations minimizing cost over the current basis.
+// banned columns may never enter the basis. It returns the objective
+// value reached.
+func (t *tableau) run(cost []float64, banned []bool) (obj float64, status Status, iters int) {
+	m := len(t.rows)
+	// Reduced-cost row: z[j] = cost[j] - sum_i cost[basis[i]]*rows[i][j];
+	// z[total] accumulates -objective.
+	z := make([]float64, t.total+1)
+	copy(z, cost)
+	for i := 0; i < m; i++ {
+		cb := cost[t.basis[i]]
+		if cb != 0 {
+			row := t.rows[i]
+			for j := 0; j <= t.total; j++ {
+				z[j] -= cb * row[j]
+			}
+		}
+	}
+	degenerate := 0
+	bland := false
+	for it := 0; it < t.maxIter; it++ {
+		enter := -1
+		if bland {
+			for j := 0; j < t.total; j++ {
+				if (banned == nil || !banned[j]) && z[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -eps
+			for j := 0; j < t.total; j++ {
+				if (banned == nil || !banned[j]) && z[j] < best {
+					best = z[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return -z[t.total], Optimal, it
+		}
+		leave := -1
+		var minRatio float64
+		for i := 0; i < m; i++ {
+			a := t.rows[i][enter]
+			if a > eps {
+				ratio := t.rows[i][t.total] / a
+				switch {
+				case leave < 0 || ratio < minRatio-eps:
+					leave, minRatio = i, ratio
+				case ratio < minRatio+eps && t.basis[i] < t.basis[leave]:
+					// Bland tie-break on the leaving variable index.
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return math.Inf(-1), Unbounded, it
+		}
+		if minRatio < eps {
+			degenerate++
+			if degenerate > 2*m+20 {
+				bland = true
+			}
+		} else {
+			degenerate = 0
+			bland = false
+		}
+		t.pivot(z, leave, enter)
+	}
+	return -z[t.total], IterLimit, t.maxIter
+}
+
+// pivot performs a Gauss-Jordan pivot on (row r, column c), updating the
+// reduced-cost row z alongside.
+func (t *tableau) pivot(z []float64, r, c int) {
+	pr := t.rows[r]
+	inv := 1 / pr[c]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[c] = 1
+	for i, row := range t.rows {
+		if i == r {
+			continue
+		}
+		if f := row[c]; f != 0 {
+			for j := range row {
+				row[j] -= f * pr[j]
+			}
+			row[c] = 0
+		}
+	}
+	if f := z[c]; f != 0 {
+		for j := range z {
+			z[j] -= f * pr[j]
+		}
+		z[c] = 0
+	}
+	t.basis[r] = c
+}
+
+// evictArtificials removes artificial variables from the basis after a
+// successful phase 1: pivot them out where possible, and drop rows that
+// turn out to be redundant (all-zero over the real columns).
+func (t *tableau) evictArtificials() {
+	var keepRows [][]float64
+	var keepBasis []int
+	zDummy := make([]float64, t.total+1)
+	for i := 0; i < len(t.rows); i++ {
+		if t.basis[i] < t.artStart {
+			keepRows = append(keepRows, t.rows[i])
+			keepBasis = append(keepBasis, t.basis[i])
+			continue
+		}
+		// Find any real column to pivot the artificial out on. The row's
+		// RHS is ~0, so the pivot is degenerate and preserves feasibility
+		// regardless of the pivot element's sign.
+		piv := -1
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				piv = j
+				break
+			}
+		}
+		if piv < 0 {
+			continue // redundant row: drop it
+		}
+		t.pivot(zDummy, i, piv)
+		keepRows = append(keepRows, t.rows[i])
+		keepBasis = append(keepBasis, t.basis[i])
+	}
+	t.rows = keepRows
+	t.basis = keepBasis
+}

@@ -1,0 +1,311 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestMaximizeClassic(t *testing.T) {
+	// Dantzig's textbook LP: max 3x + 5y s.t. x <= 4, 2y <= 12,
+	// 3x + 2y <= 18; optimum 36 at (2,6).
+	p := &Problem{NumVars: 2, Objective: []float64{3, 5}, Maximize: true}
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if math.Abs(s.Objective-36) > 1e-6 {
+		t.Errorf("objective = %v, want 36", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-6) > 1e-6 {
+		t.Errorf("x = %v, want (2,6)", s.X)
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 -> x=7, y=3, obj 23.
+	p := &Problem{NumVars: 2, Objective: []float64{2, 3}}
+	p.AddConstraint([]float64{1, 1}, GE, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 2)
+	p.AddConstraint([]float64{0, 1}, GE, 3)
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-23) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 23", s.Status, s.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 5, x <= 3 -> x=3, y=2, obj 7.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 2}}
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-7) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 7", s.Status, s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]float64{1}, GE, 2)
+	p.AddConstraint([]float64{1}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}, Maximize: true}
+	p.AddConstraint([]float64{1}, GE, 0)
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -2 with min x s.t. y <= 3: feasible, x can be 0 only if
+	// y >= 2. Optimum x = 0.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 0}}
+	p.AddConstraint([]float64{1, -1}, LE, -2)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 0", s.Status, s.Objective)
+	}
+	if s.X[1] < 2-1e-6 {
+		t.Errorf("y = %v, want >= 2", s.X[1])
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// A classic degenerate vertex; must not cycle.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}, Maximize: true}
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 1}, LE, 2)
+	p.AddConstraint([]float64{1, -1}, LE, 0)
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 2", s.Status, s.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicate equality rows exercise artificial eviction of redundant
+	// rows.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{2, 2}, EQ, 8)
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-4) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 4", s.Status, s.Objective)
+	}
+}
+
+func TestMalformedProblems(t *testing.T) {
+	p := &Problem{NumVars: -1}
+	if _, err := p.Solve(); err == nil {
+		t.Error("negative NumVars accepted")
+	}
+	p = &Problem{NumVars: 1, Objective: []float64{1, 2}}
+	if _, err := p.Solve(); err == nil {
+		t.Error("oversized objective accepted")
+	}
+	p = &Problem{NumVars: 1}
+	p.AddConstraint([]float64{1, 2}, LE, 3)
+	if _, err := p.Solve(); err == nil {
+		t.Error("oversized constraint row accepted")
+	}
+}
+
+func TestShortRowsZeroExtended(t *testing.T) {
+	// Constraint/objective rows shorter than NumVars are zero-extended.
+	p := &Problem{NumVars: 3, Objective: []float64{1}}
+	p.AddConstraint([]float64{1}, GE, 5)
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-5) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 5", s.Status, s.Objective)
+	}
+}
+
+func TestEvalAndFeasible(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{2, 3}}
+	p.AddConstraint([]float64{1, 1}, LE, 5)
+	p.AddConstraint([]float64{1, 0}, GE, 1)
+	if got := p.Eval([]float64{2, 1}); got != 7 {
+		t.Errorf("Eval = %v, want 7", got)
+	}
+	if !p.Feasible([]float64{2, 1}, 1e-9) {
+		t.Error("(2,1) reported infeasible")
+	}
+	if p.Feasible([]float64{0, 1}, 1e-9) {
+		t.Error("(0,1) violates x >= 1 but reported feasible")
+	}
+	if p.Feasible([]float64{5, 1}, 1e-9) {
+		t.Error("(5,1) violates x+y <= 5 but reported feasible")
+	}
+	if p.Feasible([]float64{-1, 0}, 1e-9) {
+		t.Error("negative variable reported feasible")
+	}
+	if p.Feasible([]float64{1}, 1e-9) {
+		t.Error("short vector reported feasible")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{1, 2}}
+	p.AddConstraint([]float64{1, 1}, LE, 3)
+	q := p.Clone()
+	q.Objective[0] = 99
+	q.Constraints[0].Coeffs[0] = 99
+	q.AddConstraint([]float64{1, 0}, GE, 1)
+	if p.Objective[0] != 1 || p.Constraints[0].Coeffs[0] != 1 || len(p.Constraints) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+// TestRandomBoxLPs cross-checks the simplex against exhaustive grid search
+// on random integer LPs inside a small box: the LP optimum must be at
+// least as good as any feasible grid point and must itself be feasible.
+func TestRandomBoxLPs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = float64(r.Intn(11) - 5)
+		}
+		// Box 0 <= x <= 3 keeps the problem bounded and feasible (origin).
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddConstraint(row, LE, 3)
+		}
+		for k := r.Intn(4); k > 0; k-- {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(r.Intn(7) - 3)
+			}
+			// RHS >= 0 keeps the origin feasible.
+			p.AddConstraint(row, LE, float64(r.Intn(10)))
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			t.Logf("seed %d: status %v err %v", seed, s.Status, err)
+			return false
+		}
+		if !p.Feasible(s.X, 1e-6) {
+			t.Logf("seed %d: solution %v infeasible", seed, s.X)
+			return false
+		}
+		// Exhaustive integer grid: every feasible point must be >= optimum.
+		pt := make([]float64, n)
+		var rec func(j int) bool
+		rec = func(j int) bool {
+			if j == n {
+				if p.Feasible(pt, 1e-9) && p.Eval(pt) < s.Objective-1e-6 {
+					t.Logf("seed %d: grid point %v beats LP optimum %v", seed, pt, s.Objective)
+					return false
+				}
+				return true
+			}
+			for v := 0; v <= 3; v++ {
+				pt[j] = float64(v)
+				if !rec(j + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		return rec(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomEqualityLPs builds LPs with a known feasible point and checks
+// the solver never reports infeasibility and never beats the LP bound
+// from weak duality applied at the known point.
+func TestRandomEqualityLPs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		m := 1 + r.Intn(3)
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = float64(r.Intn(5))
+		}
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = float64(r.Intn(9) - 4)
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			rhs := 0.0
+			for j := range row {
+				row[j] = float64(r.Intn(5) - 2)
+				rhs += row[j] * x0[j]
+			}
+			p.AddConstraint(row, EQ, rhs)
+		}
+		// Bound the box so the LP cannot be unbounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddConstraint(row, LE, 10)
+		}
+		s, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		if s.Status != Optimal {
+			t.Logf("seed %d: status %v for feasible problem", seed, s.Status)
+			return false
+		}
+		if s.Objective > p.Eval(x0)+1e-6 {
+			t.Logf("seed %d: optimum %v worse than known point %v", seed, s.Objective, p.Eval(x0))
+			return false
+		}
+		return p.Feasible(s.X, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Op strings wrong")
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown Op has empty string")
+	}
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if s.String() != want {
+			t.Errorf("Status %d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown Status has empty string")
+	}
+}

@@ -1,0 +1,155 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBealeCyclingExample pins the classic LP on which Dantzig's rule
+// cycles forever without an anti-cycling safeguard (E.M.L. Beale, 1955):
+//
+//	min  -3/4 x1 + 150 x2 - 1/50 x3 + 6 x4
+//	s.t.  1/4 x1 -  60 x2 - 1/25 x3 + 9 x4 <= 0
+//	      1/2 x1 -  90 x2 - 1/50 x3 + 3 x4 <= 0
+//	                            x3          <= 1
+//
+// The optimum is -1/20 at x = (1/25, 0, 1, 0).
+func TestBealeCyclingExample(t *testing.T) {
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+	}
+	p.AddConstraint([]float64{0.25, -60, -1.0 / 25, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -1.0 / 50, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal (anti-cycling failed?)", s.Status)
+	}
+	if math.Abs(s.Objective-(-0.05)) > 1e-9 {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+	if math.Abs(s.X[2]-1) > 1e-9 {
+		t.Errorf("x3 = %v, want 1", s.X[2])
+	}
+}
+
+// TestKleeMintyCube solves the n=6 Klee–Minty cube — the worst case for
+// Dantzig pivoting — to confirm the solver terminates at the optimum
+// even when the pivot path is long.
+func TestKleeMintyCube(t *testing.T) {
+	const n = 6
+	p := &Problem{NumVars: n, Maximize: true, Objective: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Objective[j] = math.Pow(2, float64(n-1-j))
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		for j := 0; j < i; j++ {
+			row[j] = math.Pow(2, float64(i+1-j))
+		}
+		row[i] = 1
+		p.AddConstraint(row, LE, math.Pow(5, float64(i+1)))
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := math.Pow(5, n)
+	if s.Status != Optimal || math.Abs(s.Objective-want) > 1e-6*want {
+		t.Fatalf("got %v obj %v, want optimal %v", s.Status, s.Objective, want)
+	}
+}
+
+// TestHighlyDegenerateRandomLPs builds LPs whose constraints all pass
+// through the origin (maximally degenerate vertex) plus a box; the
+// solver must always terminate with the proven-feasible optimum.
+func TestHighlyDegenerateRandomLPs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = float64(r.Intn(11) - 5)
+		}
+		// Rows through the origin: a·x <= 0 with mixed signs.
+		for k := 2 + r.Intn(5); k > 0; k-- {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(r.Intn(9) - 4)
+			}
+			p.AddConstraint(row, LE, 0)
+		}
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddConstraint(row, LE, 5)
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			t.Logf("seed %d: %v / %v", seed, err, s.Status)
+			return false
+		}
+		if !p.Feasible(s.X, 1e-6) {
+			return false
+		}
+		// The origin is always feasible, so the minimum is <= 0.
+		return s.Objective <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLargeAssignmentRelaxation sizes the simplex like the biggest P_AW
+// relaxation the experiments solve (32 cores x 6 TAMs) and checks the
+// relaxation optimum is a valid fractional lower bound.
+func TestLargeAssignmentRelaxation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const n, b = 32, 6
+	nv := n*b + 1
+	p := &Problem{NumVars: nv, Objective: make([]float64, nv)}
+	p.Objective[n*b] = 1
+	times := make([][]float64, n)
+	for i := range times {
+		times[i] = make([]float64, b)
+		base := float64(1000 + r.Intn(100000))
+		for j := range times[i] {
+			times[i][j] = base * float64(j+1)
+		}
+		row := make([]float64, nv)
+		for j := 0; j < b; j++ {
+			row[i*b+j] = 1
+		}
+		p.AddConstraint(row, EQ, 1)
+	}
+	for j := 0; j < b; j++ {
+		row := make([]float64, nv)
+		for i := 0; i < n; i++ {
+			row[i*b+j] = times[i][j]
+		}
+		row[n*b] = -1
+		p.AddConstraint(row, LE, 0)
+	}
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status %v err %v", s.Status, err)
+	}
+	if s.Objective <= 0 {
+		t.Errorf("relaxation bound %v, want positive", s.Objective)
+	}
+	// Fractional optimum <= any integral schedule, e.g. everything on
+	// machine 0.
+	var all0 float64
+	for i := range times {
+		all0 += times[i][0]
+	}
+	if s.Objective > all0+1e-6 {
+		t.Errorf("relaxation %v above a feasible schedule %v", s.Objective, all0)
+	}
+}

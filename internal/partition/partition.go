@@ -1,0 +1,268 @@
+// Package partition provides the integer-partition machinery behind TAM
+// width partitioning: exact counting of partitions of W into exactly B
+// positive parts, the asymptotic estimates quoted in the DATE 2002 paper,
+// canonical (non-decreasing) enumeration, and the paper-faithful Increment
+// odometer of Figure 3 with its Line-1 upper-bound restriction.
+//
+// A "partition" here is a multiset of B positive integers summing to W:
+// the widths of the B TAMs on an SOC with W total TAM wires. TAMs are
+// interchangeable, so (1,2,5) and (2,1,5) describe the same architecture;
+// the paper's odometer suppresses most — but not all — such duplicates,
+// which is exactly the behaviour Table 1 measures.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Count returns the number of partitions of w into exactly b positive
+// parts, P(w,b), computed exactly with the standard recurrence
+// P(w,b) = P(w-1,b-1) + P(w-b,b).
+func Count(w, b int) int64 {
+	if b <= 0 || w < b {
+		return 0
+	}
+	// dp[j] holds P(i,j) for the current i as i sweeps 0..w.
+	dp := make([][]int64, w+1)
+	for i := range dp {
+		dp[i] = make([]int64, b+1)
+	}
+	dp[0][0] = 1
+	for i := 1; i <= w; i++ {
+		for j := 1; j <= b && j <= i; j++ {
+			dp[i][j] = dp[i-1][j-1]
+			if i-j >= 0 {
+				dp[i][j] += dp[i-j][j]
+			}
+		}
+	}
+	return dp[w][b]
+}
+
+// CountApprox returns the estimate of P(w,b) used in the paper:
+// w^(b-1) / (b!·(b-1)!), valid for w >> b. For b = 2 the paper uses
+// floor(w/2) and for b = 3 the closed form round(w²/12); both are
+// returned exactly here.
+func CountApprox(w, b int) float64 {
+	switch {
+	case b <= 0 || w < b:
+		return 0
+	case b == 1:
+		return 1
+	case b == 2:
+		return math.Floor(float64(w) / 2)
+	case b == 3:
+		return math.Round(float64(w) * float64(w) / 12)
+	}
+	num := math.Pow(float64(w), float64(b-1))
+	den := factorial(b) * factorial(b-1)
+	return num / den
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// Enumerate yields every canonical partition of w into exactly b
+// non-decreasing positive parts, in lexicographic order. The callback
+// receives a reused buffer; it must copy the slice to retain it. Return
+// false from the callback to stop early. Enumerate reports whether the
+// enumeration ran to completion.
+func Enumerate(w, b int, fn func(parts []int) bool) bool {
+	if b <= 0 || w < b {
+		return true
+	}
+	parts := make([]int, b)
+	var rec func(idx, remaining, minPart int) bool
+	rec = func(idx, remaining, minPart int) bool {
+		if idx == b-1 {
+			parts[idx] = remaining
+			return fn(parts)
+		}
+		// parts[idx..b-1] are non-decreasing, so parts[idx] can be at
+		// most remaining/(b-idx).
+		for v := minPart; v <= remaining/(b-idx); v++ {
+			parts[idx] = v
+			if !rec(idx+1, remaining-v, v) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, w, 1)
+}
+
+// Canonical returns a copy of parts sorted in non-decreasing order — the
+// canonical form used to detect duplicate (isomorphic) partitions.
+func Canonical(parts []int) []int {
+	c := make([]int, len(parts))
+	copy(c, parts)
+	// Insertion sort: partitions are tiny (b <= ~16).
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j] < c[j-1]; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+	return c
+}
+
+// Key returns a compact string key for the canonical form of parts,
+// usable as a map key when deduplicating partitions.
+func Key(parts []int) string {
+	var b []byte
+	for i, v := range Canonical(parts) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return string(b)
+}
+
+// Odometer enumerates width partitions exactly as the recursive Increment
+// procedure of Figure 3 in the paper: loop variables w_1..w_{B-1} start at
+// 1, w_B is the remainder, and each variable w_j is capped at
+// floor((W - Σ_{i<j} w_i) / (B-j+1)) — the Line-1 restriction that prunes
+// "a sizeable number" (not all) of the repeated partitions.
+type Odometer struct {
+	w, b  int
+	vars  []int // w_1..w_{B-1}
+	done  bool
+	first bool
+}
+
+// NewOdometer returns an odometer over partitions of w into b positive
+// parts. It requires 1 <= b <= w.
+func NewOdometer(w, b int) (*Odometer, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("partition: number of TAMs %d < 1", b)
+	}
+	if w < b {
+		return nil, fmt.Errorf("partition: width %d cannot be split into %d TAMs of width >= 1", w, b)
+	}
+	o := &Odometer{w: w, b: b, vars: make([]int, b-1), first: true}
+	for i := range o.vars {
+		o.vars[i] = 1
+	}
+	return o, nil
+}
+
+// Next returns the next partition, or ok=false when the enumeration is
+// exhausted. The returned slice is reused between calls; copy to retain.
+func (o *Odometer) Next() (parts []int, ok bool) {
+	if o.done {
+		return nil, false
+	}
+	if o.first {
+		o.first = false
+		return o.current(), true
+	}
+	// Increment(B, B-1, W) with carry, resetting trailing digits to 1.
+	j := o.b - 2 // last free variable, 0-based
+	for j >= 0 {
+		if o.vars[j] < o.bound(j) {
+			o.vars[j]++
+			for t := j + 1; t < o.b-1; t++ {
+				o.vars[t] = 1
+			}
+			return o.current(), true
+		}
+		j--
+	}
+	o.done = true
+	return nil, false
+}
+
+// bound returns the Line-1 cap for 0-based digit j:
+// floor((W - Σ_{i<j} w_i) / (B-j)) with B-j the slots from j to the end.
+func (o *Odometer) bound(j int) int {
+	used := 0
+	for i := 0; i < j; i++ {
+		used += o.vars[i]
+	}
+	return (o.w - used) / (o.b - j)
+}
+
+// current materializes the partition for the present odometer state.
+func (o *Odometer) current() []int {
+	parts := make([]int, o.b)
+	used := 0
+	for i, v := range o.vars {
+		parts[i] = v
+		used += v
+	}
+	parts[o.b-1] = o.w - used
+	return parts
+}
+
+// NaiveOdometer enumerates partitions the way the paper describes the
+// unrestricted nested loops (no Line-1 bound): every w_1..w_{B-1} from 1
+// while the remainder stays positive. It exists as the ablation baseline
+// quantifying how many repeated partitions the Line-1 bound prunes.
+type NaiveOdometer struct {
+	w, b  int
+	vars  []int
+	done  bool
+	first bool
+}
+
+// NewNaiveOdometer returns the unrestricted odometer; same domain rules
+// as NewOdometer.
+func NewNaiveOdometer(w, b int) (*NaiveOdometer, error) {
+	if b < 1 || w < b {
+		return nil, fmt.Errorf("partition: invalid naive odometer W=%d B=%d", w, b)
+	}
+	o := &NaiveOdometer{w: w, b: b, vars: make([]int, b-1), first: true}
+	for i := range o.vars {
+		o.vars[i] = 1
+	}
+	return o, nil
+}
+
+// Next returns the next partition, or ok=false at exhaustion. The slice
+// is reused between calls.
+func (o *NaiveOdometer) Next() (parts []int, ok bool) {
+	if o.done {
+		return nil, false
+	}
+	if o.first {
+		o.first = false
+		return o.current(), true
+	}
+	j := o.b - 2
+	for j >= 0 {
+		// Digit j may grow while all later digits (reset to 1) and the
+		// remainder can still be >= 1.
+		used := 0
+		for i := 0; i < j; i++ {
+			used += o.vars[i]
+		}
+		if o.vars[j] < o.w-used-(o.b-1-j) {
+			o.vars[j]++
+			for t := j + 1; t < o.b-1; t++ {
+				o.vars[t] = 1
+			}
+			return o.current(), true
+		}
+		j--
+	}
+	o.done = true
+	return nil, false
+}
+
+func (o *NaiveOdometer) current() []int {
+	parts := make([]int, o.b)
+	used := 0
+	for i, v := range o.vars {
+		parts[i] = v
+		used += v
+	}
+	parts[o.b-1] = o.w - used
+	return parts
+}

@@ -1,0 +1,162 @@
+// Package report renders the experiment results as aligned plain-text
+// tables in the style of the paper's result tables, and provides the
+// formatting helpers the tables share (testing-time cycles, CPU-time
+// ratios, width partitions, percentage deltas).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"soctam/internal/soc"
+)
+
+// Table is one result table.
+type Table struct {
+	// Title names the table, e.g. "Table 2(b): d695, new method, B=2".
+	Title string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the data cells; ragged rows are padded when rendered.
+	Rows [][]string
+	// Notes are free-form lines printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.render(&b)
+	return b.String()
+}
+
+func (t *Table) render(b *strings.Builder) {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+}
+
+// RenderAll writes the tables separated by blank lines.
+func RenderAll(w io.Writer, tables []*Table) error {
+	for i, t := range tables {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cycles formats a testing time in clock cycles.
+func Cycles(c soc.Cycles) string { return fmt.Sprintf("%d", c) }
+
+// Partition formats a width partition the way the paper does: "9+16+23".
+func Partition(parts []int) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%d", p)
+	}
+	return b.String()
+}
+
+// DeltaPercent formats the paper's ΔT column: the percentage change of
+// the new testing time against the old, signed, two decimals.
+func DeltaPercent(newTime, oldTime soc.Cycles) string {
+	if oldTime == 0 {
+		return "n/a"
+	}
+	pct := 100 * float64(newTime-oldTime) / float64(oldTime)
+	return fmt.Sprintf("%+.2f", pct)
+}
+
+// Seconds formats a duration as seconds with millisecond resolution,
+// matching the paper's CPU-time columns.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// TimeRatio formats the paper's t_new/t_old CPU-time ratio column.
+func TimeRatio(newTime, oldTime time.Duration) string {
+	if oldTime <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", newTime.Seconds()/oldTime.Seconds())
+}
+
+// Bool renders a yes/no cell.
+func Bool(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "Demo",
+		Header: []string{"W", "partition", "T (cycles)"},
+	}
+	tab.AddRow("16", "8+8", "45055")
+	tab.AddRow("24", "12+12", "34455")
+	tab.AddNote("generated for the test")
+	out := tab.String()
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6 (title, header, separator, 2 rows, note):\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "W") || !strings.Contains(lines[1], "partition") {
+		t.Errorf("header line wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "-") {
+		t.Errorf("separator line wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[5], "note: generated for the test") {
+		t.Errorf("note line wrong: %q", lines[5])
+	}
+	// All data lines have equal rendered width.
+	if len(lines[1]) != len(lines[3]) {
+		t.Errorf("misaligned rows: %q vs %q", lines[1], lines[3])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("1")
+	tab.AddRow("2", "3", "4")
+	out := tab.String()
+	if !strings.Contains(out, "4") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	var b strings.Builder
+	t1 := &Table{Title: "one", Header: []string{"x"}}
+	t2 := &Table{Title: "two", Header: []string{"y"}}
+	if err := RenderAll(&b, []*Table{t1, t2}); err != nil {
+		t.Fatalf("RenderAll: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "one") || !strings.Contains(out, "two") {
+		t.Errorf("missing tables:\n%s", out)
+	}
+	if !strings.Contains(out, "\n\n") {
+		t.Error("tables not separated by a blank line")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Cycles(45055); got != "45055" {
+		t.Errorf("Cycles = %q", got)
+	}
+	if got := Partition([]int{9, 16, 23}); got != "9+16+23" {
+		t.Errorf("Partition = %q", got)
+	}
+	if got := Partition(nil); got != "" {
+		t.Errorf("Partition(nil) = %q", got)
+	}
+	if got := DeltaPercent(110, 100); got != "+10.00" {
+		t.Errorf("DeltaPercent = %q", got)
+	}
+	if got := DeltaPercent(90, 100); got != "-10.00" {
+		t.Errorf("DeltaPercent = %q", got)
+	}
+	if got := DeltaPercent(50, 0); got != "n/a" {
+		t.Errorf("DeltaPercent(., 0) = %q", got)
+	}
+	if got := Seconds(1500 * time.Millisecond); got != "1.500" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := TimeRatio(time.Second, 10*time.Second); got != "0.1000" {
+		t.Errorf("TimeRatio = %q", got)
+	}
+	if got := TimeRatio(time.Second, 0); got != "n/a" {
+		t.Errorf("TimeRatio(., 0) = %q", got)
+	}
+	if Bool(true) != "yes" || Bool(false) != "no" {
+		t.Error("Bool wrong")
+	}
+}

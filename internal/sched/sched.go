@@ -1,0 +1,366 @@
+// Package sched solves the minimum-makespan scheduling problem underlying
+// core-to-TAM assignment: n independent jobs (core tests) on m parallel
+// machines (TAMs) with machine-dependent processing times — the problem
+// R||Cmax in scheduling notation. The paper's Core_assign heuristic is an
+// approximation algorithm for this problem [3]; this package provides the
+// surrounding machinery:
+//
+//   - Makespan evaluation and validation of assignments,
+//   - an LPT-style greedy baseline,
+//   - a brute-force oracle for tests, and
+//   - an exact depth-first branch-and-bound with symmetry breaking over
+//     identical machines, used for the paper's exact ILP comparisons and
+//     final optimization step (cross-checked against package ilp).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"soctam/internal/soc"
+)
+
+// Matrix holds processing times: Matrix[i][j] is the time of job i on
+// machine j. Rows must be non-empty and uniform in length.
+type Matrix [][]soc.Cycles
+
+// Validate reports the first structural problem with the matrix.
+func (m Matrix) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("sched: no jobs")
+	}
+	width := len(m[0])
+	if width == 0 {
+		return fmt.Errorf("sched: no machines")
+	}
+	for i, row := range m {
+		if len(row) != width {
+			return fmt.Errorf("sched: job %d has %d machine times, want %d", i, len(row), width)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("sched: job %d machine %d has negative time %d", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// NumJobs returns the number of jobs.
+func (m Matrix) NumJobs() int { return len(m) }
+
+// NumMachines returns the number of machines.
+func (m Matrix) NumMachines() int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
+}
+
+// Makespan returns the per-machine loads and the makespan of an
+// assignment (assign[i] = machine of job i).
+func (m Matrix) Makespan(assign []int) (loads []soc.Cycles, makespan soc.Cycles, err error) {
+	if len(assign) != len(m) {
+		return nil, 0, fmt.Errorf("sched: assignment covers %d jobs, want %d", len(assign), len(m))
+	}
+	loads = make([]soc.Cycles, m.NumMachines())
+	for i, j := range assign {
+		if j < 0 || j >= len(loads) {
+			return nil, 0, fmt.Errorf("sched: job %d assigned to machine %d of %d", i, j, len(loads))
+		}
+		loads[j] += m[i][j]
+	}
+	for _, l := range loads {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return loads, makespan, nil
+}
+
+// LowerBound returns a valid lower bound on the optimal makespan: the
+// larger of the biggest per-job minimum time and the average machine load
+// if every job ran at its fastest.
+func (m Matrix) LowerBound() soc.Cycles {
+	var maxMin, sumMin soc.Cycles
+	for _, row := range m {
+		jobMin := row[0]
+		for _, v := range row[1:] {
+			if v < jobMin {
+				jobMin = v
+			}
+		}
+		sumMin += jobMin
+		if jobMin > maxMin {
+			maxMin = jobMin
+		}
+	}
+	nm := soc.Cycles(m.NumMachines())
+	avg := (sumMin + nm - 1) / nm
+	if avg > maxMin {
+		return avg
+	}
+	return maxMin
+}
+
+// Greedy assigns jobs in decreasing order of their minimum processing
+// time, each to the machine minimizing the resulting load — the classic
+// LPT-flavored list-scheduling baseline (without the paper's tie-break
+// refinements, which live in package assign).
+func Greedy(m Matrix) (assign []int, makespan soc.Cycles, err error) {
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	order := make([]int, len(m))
+	key := make([]soc.Cycles, len(m))
+	for i, row := range m {
+		order[i] = i
+		k := row[0]
+		for _, v := range row[1:] {
+			if v < k {
+				k = v
+			}
+		}
+		key[i] = k
+	}
+	sort.SliceStable(order, func(a, b int) bool { return key[order[a]] > key[order[b]] })
+	loads := make([]soc.Cycles, m.NumMachines())
+	assign = make([]int, len(m))
+	for _, i := range order {
+		best := 0
+		for j := 1; j < len(loads); j++ {
+			if loads[j]+m[i][j] < loads[best]+m[i][best] {
+				best = j
+			}
+		}
+		assign[i] = best
+		loads[best] += m[i][best]
+	}
+	_, makespan, err = m.Makespan(assign)
+	return assign, makespan, err
+}
+
+// BruteForce finds the exact optimum by enumerating all m^n assignments.
+// It is the test oracle; it refuses instances with more than 20 jobs.
+func BruteForce(m Matrix) (assign []int, makespan soc.Cycles, err error) {
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n, nm := m.NumJobs(), m.NumMachines()
+	if n > 20 {
+		return nil, 0, fmt.Errorf("sched: brute force refuses %d jobs", n)
+	}
+	cur := make([]int, n)
+	best := make([]int, n)
+	loads := make([]soc.Cycles, nm)
+	bestSpan := soc.Cycles(-1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			span := soc.Cycles(0)
+			for _, l := range loads {
+				if l > span {
+					span = l
+				}
+			}
+			if bestSpan < 0 || span < bestSpan {
+				bestSpan = span
+				copy(best, cur)
+			}
+			return
+		}
+		for j := 0; j < nm; j++ {
+			loads[j] += m[i][j]
+			cur[i] = j
+			rec(i + 1)
+			loads[j] -= m[i][j]
+		}
+	}
+	rec(0)
+	return best, bestSpan, nil
+}
+
+// Options tunes BranchAndBound.
+type Options struct {
+	// WarmAssign optionally seeds the incumbent with a known schedule
+	// (e.g. from Core_assign); it must cover all jobs if set.
+	WarmAssign []int
+	// NodeLimit caps search nodes; <= 0 means 5,000,000.
+	NodeLimit int64
+}
+
+// Result is the outcome of BranchAndBound. Assign is always a complete,
+// valid schedule achieving Makespan.
+type Result struct {
+	Assign   []int
+	Makespan soc.Cycles
+	Nodes    int64
+	// Optimal reports whether the search completed (the result is the
+	// proven optimum) rather than hitting the node limit.
+	Optimal bool
+}
+
+// BranchAndBound solves R||Cmax exactly (within the node budget). Jobs
+// are branched in decreasing order of minimum time; machines are tried in
+// increasing order of resulting load; subtrees are pruned against the
+// incumbent with a remaining-work lower bound, and interchangeable
+// machines (identical time columns) with equal current loads are searched
+// only once.
+func BranchAndBound(m Matrix, opt Options) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	n, nm := m.NumJobs(), m.NumMachines()
+	nodeLimit := opt.NodeLimit
+	if nodeLimit <= 0 {
+		nodeLimit = 5_000_000
+	}
+	classes := deriveClasses(m)
+
+	// Seed the incumbent with the greedy schedule, improved by the
+	// caller's warm start if better.
+	bestAssign, incumbent, err := Greedy(m)
+	if err != nil {
+		return Result{}, err
+	}
+	if opt.WarmAssign != nil {
+		_, warmSpan, err := m.Makespan(opt.WarmAssign)
+		if err != nil {
+			return Result{}, fmt.Errorf("sched: warm start: %w", err)
+		}
+		if warmSpan < incumbent {
+			incumbent = warmSpan
+			bestAssign = append([]int(nil), opt.WarmAssign...)
+		}
+	}
+
+	// Branch jobs in decreasing order of their minimum time: big rocks
+	// first shrinks the tree dramatically.
+	order := make([]int, n)
+	minTime := make([]soc.Cycles, n)
+	for i, row := range m {
+		order[i] = i
+		k := row[0]
+		for _, v := range row[1:] {
+			if v < k {
+				k = v
+			}
+		}
+		minTime[i] = k
+	}
+	sort.SliceStable(order, func(a, b int) bool { return minTime[order[a]] > minTime[order[b]] })
+
+	// suffixMin[d] = total minimum work of jobs order[d:].
+	suffixMin := make([]soc.Cycles, n+1)
+	for d := n - 1; d >= 0; d-- {
+		suffixMin[d] = suffixMin[d+1] + minTime[order[d]]
+	}
+
+	loads := make([]soc.Cycles, nm)
+	cur := make([]int, n)
+	var nodes int64
+	complete := true
+	// Per-depth machine-order scratch: recursion levels must not share a
+	// buffer, since inner levels re-sort it while outer loops range it.
+	machineOrders := make([][]int, n)
+	for d := range machineOrders {
+		machineOrders[d] = make([]int, nm)
+	}
+
+	var rec func(d int, total soc.Cycles)
+	rec = func(d int, total soc.Cycles) {
+		if nodes >= nodeLimit {
+			complete = false
+			return
+		}
+		nodes++
+		if d == n {
+			span := soc.Cycles(0)
+			for _, l := range loads {
+				if l > span {
+					span = l
+				}
+			}
+			if span < incumbent {
+				incumbent = span
+				copy(bestAssign, cur)
+			}
+			return
+		}
+		// Remaining-work bound: even spreading the remaining minimum work
+		// over all machines cannot beat the incumbent -> prune.
+		avg := (total + suffixMin[d] + soc.Cycles(nm) - 1) / soc.Cycles(nm)
+		if avg >= incumbent {
+			return
+		}
+		i := order[d]
+		row := m[i]
+		machineOrder := machineOrders[d]
+		for j := range machineOrder {
+			machineOrder[j] = j
+		}
+		sort.SliceStable(machineOrder, func(a, b int) bool {
+			return loads[machineOrder[a]]+row[machineOrder[a]] < loads[machineOrder[b]]+row[machineOrder[b]]
+		})
+		for _, j := range machineOrder {
+			// Symmetry breaking: among identical machines with identical
+			// current loads, only the lowest-indexed one is tried.
+			dup := false
+			for q := 0; q < j; q++ {
+				if classes[q] == classes[j] && loads[q] == loads[j] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			newLoad := loads[j] + row[j]
+			if newLoad >= incumbent {
+				continue
+			}
+			loads[j] = newLoad
+			cur[i] = j
+			rec(d+1, total+row[j])
+			loads[j] = newLoad - row[j]
+			if nodes >= nodeLimit {
+				complete = false
+				return
+			}
+		}
+	}
+	rec(0, 0)
+
+	return Result{Assign: bestAssign, Makespan: incumbent, Nodes: nodes, Optimal: complete}, nil
+}
+
+// deriveClasses groups machines whose whole time columns are equal.
+func deriveClasses(m Matrix) []int {
+	nm := m.NumMachines()
+	classes := make([]int, nm)
+	next := 0
+	for j := 0; j < nm; j++ {
+		found := false
+		for q := 0; q < j; q++ {
+			if columnsEqual(m, q, j) {
+				classes[j] = classes[q]
+				found = true
+				break
+			}
+		}
+		if !found {
+			classes[j] = next
+			next++
+		}
+	}
+	return classes
+}
+
+func columnsEqual(m Matrix, a, b int) bool {
+	for _, row := range m {
+		if row[a] != row[b] {
+			return false
+		}
+	}
+	return true
+}

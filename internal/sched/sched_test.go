@@ -1,0 +1,236 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"soctam/internal/soc"
+)
+
+func randomMatrix(r *rand.Rand, maxJobs, maxMachines, maxTime int) Matrix {
+	n := 1 + r.Intn(maxJobs)
+	nm := 1 + r.Intn(maxMachines)
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]soc.Cycles, nm)
+		for j := range m[i] {
+			m[i][j] = soc.Cycles(r.Intn(maxTime))
+		}
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Matrix{}).Validate(); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if err := (Matrix{{}}).Validate(); err == nil {
+		t.Error("zero-machine matrix accepted")
+	}
+	if err := (Matrix{{1, 2}, {3}}).Validate(); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if err := (Matrix{{1, -2}}).Validate(); err == nil {
+		t.Error("negative time accepted")
+	}
+	if err := (Matrix{{1, 2}, {3, 4}}).Validate(); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	m := Matrix{{10, 20}, {30, 5}, {7, 7}}
+	loads, span, err := m.Makespan([]int{0, 1, 0})
+	if err != nil {
+		t.Fatalf("Makespan: %v", err)
+	}
+	if loads[0] != 17 || loads[1] != 5 || span != 17 {
+		t.Errorf("loads %v span %d, want [17 5] 17", loads, span)
+	}
+	if _, _, err := m.Makespan([]int{0, 1}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, _, err := m.Makespan([]int{0, 1, 2}); err == nil {
+		t.Error("out-of-range machine accepted")
+	}
+}
+
+func TestGreedyBasic(t *testing.T) {
+	// Figure 2 flavored: greedy must produce a valid schedule no worse
+	// than putting everything on one machine.
+	m := Matrix{{50, 100}, {75, 95}, {90, 100}, {60, 75}, {120, 120}}
+	assign, span, err := Greedy(m)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if _, got, _ := m.Makespan(assign); got != span {
+		t.Errorf("reported span %d != recomputed %d", span, got)
+	}
+	var all0 soc.Cycles
+	for _, row := range m {
+		all0 += row[0]
+	}
+	if span > all0 {
+		t.Errorf("greedy span %d worse than trivial %d", span, all0)
+	}
+}
+
+func TestBruteForceSmall(t *testing.T) {
+	// 2 jobs, 2 machines: job0 fast on m0, job1 fast on m1.
+	m := Matrix{{1, 10}, {10, 1}}
+	assign, span, err := BruteForce(m)
+	if err != nil {
+		t.Fatalf("BruteForce: %v", err)
+	}
+	if span != 1 || assign[0] != 0 || assign[1] != 1 {
+		t.Errorf("assign %v span %d, want [0 1] 1", assign, span)
+	}
+}
+
+func TestBruteForceRefusesLarge(t *testing.T) {
+	m := make(Matrix, 21)
+	for i := range m {
+		m[i] = []soc.Cycles{1}
+	}
+	if _, _, err := BruteForce(m); err == nil {
+		t.Error("brute force accepted 21 jobs")
+	}
+}
+
+func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatrix(r, 8, 4, 100)
+		_, want, err := BruteForce(m)
+		if err != nil {
+			return false
+		}
+		res, err := BranchAndBound(m, Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !res.Optimal {
+			t.Logf("seed %d: not optimal", seed)
+			return false
+		}
+		if res.Makespan != want {
+			t.Logf("seed %d: B&B %d, brute force %d", seed, res.Makespan, want)
+			return false
+		}
+		_, span, err := m.Makespan(res.Assign)
+		return err == nil && span == res.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchAndBoundIdenticalMachines(t *testing.T) {
+	// All machines identical: symmetry breaking must still find the
+	// optimum. 6 jobs of length 1..6 on 3 identical machines: total 21,
+	// perfectly splittable to 7.
+	m := make(Matrix, 6)
+	for i := range m {
+		v := soc.Cycles(i + 1)
+		m[i] = []soc.Cycles{v, v, v}
+	}
+	res, err := BranchAndBound(m, Options{})
+	if err != nil {
+		t.Fatalf("BranchAndBound: %v", err)
+	}
+	if !res.Optimal || res.Makespan != 7 {
+		t.Errorf("makespan %d optimal=%v, want 7 true", res.Makespan, res.Optimal)
+	}
+}
+
+func TestBranchAndBoundWarmStart(t *testing.T) {
+	m := Matrix{{50, 100}, {75, 95}, {90, 100}, {60, 75}, {120, 120}}
+	_, span, _ := BruteForce(m)
+	// Warm start with the optimal schedule itself.
+	opt, _, _ := BruteForce(m)
+	res, err := BranchAndBound(m, Options{WarmAssign: opt})
+	if err != nil {
+		t.Fatalf("BranchAndBound: %v", err)
+	}
+	if res.Makespan != span || !res.Optimal {
+		t.Errorf("warm-started makespan %d optimal=%v, want %d true", res.Makespan, res.Optimal, span)
+	}
+	// Invalid warm start must be rejected.
+	if _, err := BranchAndBound(m, Options{WarmAssign: []int{0}}); err == nil {
+		t.Error("short warm start accepted")
+	}
+}
+
+func TestBranchAndBoundNodeLimit(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := randomMatrix(r, 15, 4, 1000)
+	res, err := BranchAndBound(m, Options{NodeLimit: 3})
+	if err != nil {
+		t.Fatalf("BranchAndBound: %v", err)
+	}
+	if res.Optimal {
+		t.Error("3-node search claims optimality")
+	}
+	// Result must still be a valid schedule.
+	_, span, err := m.Makespan(res.Assign)
+	if err != nil || span != res.Makespan {
+		t.Errorf("limited result invalid: %v span %d vs %d", err, span, res.Makespan)
+	}
+}
+
+func TestLowerBoundSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatrix(r, 7, 3, 50)
+		_, opt, err := BruteForce(m)
+		if err != nil {
+			return false
+		}
+		return m.LowerBound() <= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyNeverBeatsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatrix(r, 7, 3, 50)
+		_, opt, err := BruteForce(m)
+		if err != nil {
+			return false
+		}
+		_, span, err := Greedy(m)
+		if err != nil {
+			return false
+		}
+		return span >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveClasses(t *testing.T) {
+	m := Matrix{{1, 2, 1, 2}, {3, 4, 3, 4}}
+	classes := deriveClasses(m)
+	if classes[0] != classes[2] || classes[1] != classes[3] || classes[0] == classes[1] {
+		t.Errorf("classes = %v, want {a,b,a,b}", classes)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	bad := Matrix{{1}, {2, 3}}
+	if _, _, err := Greedy(bad); err == nil {
+		t.Error("Greedy accepted ragged matrix")
+	}
+	if _, err := BranchAndBound(bad, Options{}); err == nil {
+		t.Error("BranchAndBound accepted ragged matrix")
+	}
+	if _, _, err := BruteForce(bad); err == nil {
+		t.Error("BruteForce accepted ragged matrix")
+	}
+}

@@ -1,0 +1,215 @@
+// Package schedule derives the test schedule implied by a wrapper/TAM
+// architecture. Cores assigned to one TAM are tested serially — the test
+// bus is a shared resource — while the TAMs themselves run in parallel;
+// the SOC testing time is the finish time of the busiest TAM.
+//
+// Beyond the timeline itself, the package quantifies the two effects the
+// paper uses to motivate multi-TAM architectures (Section 1): idle TAM
+// wires (a core whose wrapper uses fewer chains than its TAM is wide
+// wastes the remaining wires for its whole test) and idle TAM tail time
+// (TAMs that finish before the busiest one). Both shrink when the width
+// partition matches the cores' needs.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"soctam/internal/soc"
+	"soctam/internal/wrapper"
+)
+
+// Slot is one core's test occupying its TAM for [Start, End) cycles.
+type Slot struct {
+	// Core is the 0-based core index in the SOC.
+	Core int
+	// TAM is the 0-based TAM index.
+	TAM int
+	// Start and End delimit the test in clock cycles.
+	Start, End soc.Cycles
+	// UsedWires is how many of the TAM's wires the core's wrapper
+	// actually consumes.
+	UsedWires int
+}
+
+// Duration returns the slot length in cycles.
+func (s *Slot) Duration() soc.Cycles { return s.End - s.Start }
+
+// Timeline is the complete test schedule of an SOC on a TAM architecture.
+type Timeline struct {
+	// Partition holds the TAM widths.
+	Partition []int
+	// Slots lists every core's test, ordered by TAM then start time.
+	Slots []Slot
+	// Makespan is the SOC testing time.
+	Makespan soc.Cycles
+}
+
+// Build schedules the SOC's cores on the given architecture: partition
+// holds the TAM widths and tamOf the 0-based TAM of every core. Within a
+// TAM, longer tests run first (ties by core index) — the order does not
+// change the makespan, only the timeline shape.
+func Build(s *soc.SOC, partition []int, tamOf []int) (*Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tamOf) != len(s.Cores) {
+		return nil, fmt.Errorf("schedule: assignment covers %d cores, want %d", len(tamOf), len(s.Cores))
+	}
+	for _, w := range partition {
+		if w < 1 {
+			return nil, fmt.Errorf("schedule: TAM width %d < 1", w)
+		}
+	}
+	type coreTest struct {
+		core  int
+		time  soc.Cycles
+		wires int
+	}
+	perTAM := make([][]coreTest, len(partition))
+	for i := range s.Cores {
+		j := tamOf[i]
+		if j < 0 || j >= len(partition) {
+			return nil, fmt.Errorf("schedule: core %d assigned to TAM %d of %d", i+1, j, len(partition))
+		}
+		d, err := wrapper.DesignWrapper(&s.Cores[i], partition[j])
+		if err != nil {
+			return nil, fmt.Errorf("schedule: core %d: %w", i+1, err)
+		}
+		perTAM[j] = append(perTAM[j], coreTest{core: i, time: d.Time, wires: d.UsedWidth()})
+	}
+	tl := &Timeline{Partition: append([]int(nil), partition...)}
+	for j, tests := range perTAM {
+		sort.SliceStable(tests, func(a, b int) bool {
+			if tests[a].time != tests[b].time {
+				return tests[a].time > tests[b].time
+			}
+			return tests[a].core < tests[b].core
+		})
+		var clock soc.Cycles
+		for _, ct := range tests {
+			tl.Slots = append(tl.Slots, Slot{
+				Core:      ct.core,
+				TAM:       j,
+				Start:     clock,
+				End:       clock + ct.time,
+				UsedWires: ct.wires,
+			})
+			clock += ct.time
+		}
+		if clock > tl.Makespan {
+			tl.Makespan = clock
+		}
+	}
+	return tl, nil
+}
+
+// TAMFinish returns the finish time of each TAM.
+func (tl *Timeline) TAMFinish() []soc.Cycles {
+	finish := make([]soc.Cycles, len(tl.Partition))
+	for _, s := range tl.Slots {
+		if s.End > finish[s.TAM] {
+			finish[s.TAM] = s.End
+		}
+	}
+	return finish
+}
+
+// Utilization quantifies how well the architecture keeps its TAM wires
+// busy over the whole testing session.
+type Utilization struct {
+	// TotalWireCycles is Σ_j width_j × makespan: everything the
+	// architecture could theoretically deliver.
+	TotalWireCycles int64
+	// BusyWireCycles counts wire-cycles actually driven by some core's
+	// wrapper (slot duration × wires its wrapper uses).
+	BusyWireCycles int64
+	// TailIdle counts wire-cycles lost after a TAM finishes while the
+	// busiest TAM is still testing.
+	TailIdle int64
+	// WrapperIdle counts wire-cycles lost during tests because a core's
+	// wrapper uses fewer wires than its TAM provides — the paper's
+	// "unnecessary (idle) TAM wires assigned to cores".
+	WrapperIdle int64
+}
+
+// BusyFraction returns BusyWireCycles / TotalWireCycles (0 when the
+// architecture is degenerate).
+func (u Utilization) BusyFraction() float64 {
+	if u.TotalWireCycles == 0 {
+		return 0
+	}
+	return float64(u.BusyWireCycles) / float64(u.TotalWireCycles)
+}
+
+// Utilize computes the wire-cycle accounting of a timeline.
+func (tl *Timeline) Utilize() Utilization {
+	var u Utilization
+	finish := tl.TAMFinish()
+	for j, w := range tl.Partition {
+		u.TotalWireCycles += int64(w) * int64(tl.Makespan)
+		u.TailIdle += int64(w) * int64(tl.Makespan-finish[j])
+	}
+	for _, s := range tl.Slots {
+		dur := int64(s.Duration())
+		u.BusyWireCycles += dur * int64(s.UsedWires)
+		u.WrapperIdle += dur * int64(tl.Partition[s.TAM]-s.UsedWires)
+	}
+	return u
+}
+
+// Gantt renders the timeline as an ASCII chart, one row per TAM, at most
+// cols characters wide. Each slot is labelled with its 1-based core
+// number where space permits; '.' marks idle bus time.
+func (tl *Timeline) Gantt(cols int, nameOf func(core int) string) string {
+	if cols < 10 {
+		cols = 10
+	}
+	if tl.Makespan == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(cols) / float64(tl.Makespan)
+	var b strings.Builder
+	for j, w := range tl.Partition {
+		fmt.Fprintf(&b, "TAM %d (%2d wires) |", j+1, w)
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range tl.Slots {
+			if s.TAM != j {
+				continue
+			}
+			from := int(float64(s.Start) * scale)
+			to := int(float64(s.End) * scale)
+			if to > cols {
+				to = cols
+			}
+			if to == from && from < cols {
+				to = from + 1
+			}
+			label := fmt.Sprintf("%d", s.Core+1)
+			if nameOf != nil {
+				label = nameOf(s.Core)
+			}
+			fill(row, from, to, label)
+		}
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%*s makespan: %d cycles\n", 18, "", tl.Makespan)
+	return b.String()
+}
+
+// fill writes a slot's span into the row: a bracketed label when it
+// fits, '=' bars otherwise.
+func fill(row []byte, from, to int, label string) {
+	for i := from; i < to && i < len(row); i++ {
+		row[i] = '='
+	}
+	if to-from >= len(label)+2 {
+		at := from + (to-from-len(label))/2
+		copy(row[at:], label)
+	}
+}

@@ -1,0 +1,187 @@
+package schedule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"soctam/internal/assign"
+	"soctam/internal/soc"
+	"soctam/internal/socdata"
+	"soctam/internal/wrapper"
+)
+
+func testArchitecture(t *testing.T) (*soc.SOC, []int, []int) {
+	t.Helper()
+	s := socdata.D695()
+	partition := []int{8, 8}
+	in, err := assign.NewInstance(s, partition)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	a, ok := assign.CoreAssign(in, 0)
+	if !ok {
+		t.Fatal("CoreAssign aborted")
+	}
+	return s, partition, a.TAMOf
+}
+
+func TestBuildMatchesAssignmentMakespan(t *testing.T) {
+	s, partition, tamOf := testArchitecture(t)
+	tl, err := Build(s, partition, tamOf)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// The schedule's makespan equals the assignment's testing time: the
+	// sum of wrapper times per TAM, maximized over TAMs.
+	in, _ := assign.NewInstance(s, partition)
+	_, span, err := in.Times.Makespan(tamOf)
+	if err != nil {
+		t.Fatalf("Makespan: %v", err)
+	}
+	if tl.Makespan != span {
+		t.Errorf("timeline makespan %d != assignment %d", tl.Makespan, span)
+	}
+	if len(tl.Slots) != len(s.Cores) {
+		t.Errorf("%d slots for %d cores", len(tl.Slots), len(s.Cores))
+	}
+}
+
+func TestBuildSlotsAreSerialPerTAM(t *testing.T) {
+	s, partition, tamOf := testArchitecture(t)
+	tl, err := Build(s, partition, tamOf)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Slots on the same TAM never overlap and leave no gaps.
+	var lastEnd = map[int]soc.Cycles{}
+	for _, slot := range tl.Slots {
+		if slot.Start != lastEnd[slot.TAM] {
+			t.Errorf("TAM %d: slot for core %d starts at %d, want %d (no gaps)",
+				slot.TAM+1, slot.Core+1, slot.Start, lastEnd[slot.TAM])
+		}
+		if slot.End < slot.Start {
+			t.Errorf("negative slot %+v", slot)
+		}
+		lastEnd[slot.TAM] = slot.End
+	}
+	// Longest-first order per TAM.
+	var prev = map[int]soc.Cycles{}
+	for _, slot := range tl.Slots {
+		if p, ok := prev[slot.TAM]; ok && slot.Duration() > p {
+			t.Errorf("TAM %d not longest-first: %d after %d", slot.TAM+1, slot.Duration(), p)
+		}
+		prev[slot.TAM] = slot.Duration()
+	}
+}
+
+func TestBuildSlotDurationsMatchWrapper(t *testing.T) {
+	s, partition, tamOf := testArchitecture(t)
+	tl, _ := Build(s, partition, tamOf)
+	for _, slot := range tl.Slots {
+		want, err := wrapper.Time(&s.Cores[slot.Core], partition[slot.TAM])
+		if err != nil {
+			t.Fatalf("wrapper.Time: %v", err)
+		}
+		if slot.Duration() != want {
+			t.Errorf("core %d: slot %d cycles, wrapper says %d", slot.Core+1, slot.Duration(), want)
+		}
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	s, partition, tamOf := testArchitecture(t)
+	tl, _ := Build(s, partition, tamOf)
+	u := tl.Utilize()
+	if u.TotalWireCycles != int64(16)*int64(tl.Makespan) {
+		t.Errorf("total wire-cycles %d, want %d", u.TotalWireCycles, int64(16)*int64(tl.Makespan))
+	}
+	// Busy + wrapper idle + tail idle + scheduling gaps = total. Our
+	// schedule has no gaps, so the three components must not exceed the
+	// total, and busy must be positive.
+	if u.BusyWireCycles <= 0 {
+		t.Error("no busy wire-cycles")
+	}
+	if got := u.BusyWireCycles + u.WrapperIdle + u.TailIdle; got != u.TotalWireCycles {
+		t.Errorf("accounting leak: busy %d + wrapperIdle %d + tailIdle %d = %d, want %d",
+			u.BusyWireCycles, u.WrapperIdle, u.TailIdle, got, u.TotalWireCycles)
+	}
+	if f := u.BusyFraction(); f <= 0 || f > 1 {
+		t.Errorf("busy fraction %v out of (0,1]", f)
+	}
+}
+
+func TestUtilizationRandomArchitectures(t *testing.T) {
+	s := socdata.D695()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nb := 1 + r.Intn(4)
+		partition := make([]int, nb)
+		for j := range partition {
+			partition[j] = 1 + r.Intn(16)
+		}
+		tamOf := make([]int, len(s.Cores))
+		for i := range tamOf {
+			tamOf[i] = r.Intn(nb)
+		}
+		tl, err := Build(s, partition, tamOf)
+		if err != nil {
+			return false
+		}
+		u := tl.Utilize()
+		return u.BusyWireCycles+u.WrapperIdle+u.TailIdle == u.TotalWireCycles &&
+			u.BusyFraction() > 0 && u.BusyFraction() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	s, partition, tamOf := testArchitecture(t)
+	tl, _ := Build(s, partition, tamOf)
+	out := tl.Gantt(60, nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two TAM rows + makespan line
+		t.Fatalf("Gantt has %d lines, want 3:\n%s", len(lines), out)
+	}
+	for _, l := range lines[:2] {
+		if !strings.HasPrefix(l, "TAM ") || !strings.HasSuffix(l, "|") {
+			t.Errorf("bad Gantt row: %q", l)
+		}
+	}
+	if !strings.Contains(lines[2], "makespan") {
+		t.Errorf("missing makespan line: %q", lines[2])
+	}
+	// Custom names appear.
+	named := tl.Gantt(120, func(core int) string { return s.Cores[core].Name })
+	if !strings.Contains(named, "s38584") {
+		t.Errorf("named Gantt missing core name:\n%s", named)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s := socdata.D695()
+	if _, err := Build(s, []int{8}, []int{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	tamOf := make([]int, len(s.Cores))
+	if _, err := Build(s, []int{0}, tamOf); err == nil {
+		t.Error("zero-width TAM accepted")
+	}
+	tamOf[3] = 5
+	if _, err := Build(s, []int{8}, tamOf); err == nil {
+		t.Error("out-of-range TAM accepted")
+	}
+	if _, err := Build(&soc.SOC{}, []int{8}, nil); err == nil {
+		t.Error("empty SOC accepted")
+	}
+}
+
+func TestEmptyGantt(t *testing.T) {
+	tl := &Timeline{Partition: []int{4}}
+	if out := tl.Gantt(40, nil); !strings.Contains(out, "empty") {
+		t.Errorf("empty schedule rendering: %q", out)
+	}
+}

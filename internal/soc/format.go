@@ -1,0 +1,158 @@
+package soc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The .soc text format is a line-oriented description of an SOC, inspired
+// by the ITC'02 SOC test benchmark format:
+//
+//	# comment
+//	soc d695
+//	core c6288 inputs 32 outputs 32 patterns 12
+//	core s9234 inputs 36 outputs 39 patterns 105 scan 54 54 52 51
+//	core ram1  inputs 52 outputs 52 bidirs 0 patterns 1024
+//
+// The "soc" line must come first (after comments/blank lines). Each "core"
+// line names a core followed by key/value attributes; the "scan" keyword
+// consumes all remaining fields on the line as chain lengths.
+
+// Parse reads an SOC from r in the .soc text format.
+func Parse(r io.Reader) (*SOC, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var s *SOC
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "soc":
+			if s != nil {
+				return nil, fmt.Errorf("soc: line %d: duplicate soc declaration", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("soc: line %d: want \"soc <name>\", got %d fields", lineNo, len(fields))
+			}
+			s = &SOC{Name: fields[1]}
+		case "core":
+			if s == nil {
+				return nil, fmt.Errorf("soc: line %d: core before soc declaration", lineNo)
+			}
+			c, err := parseCore(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("soc: line %d: %w", lineNo, err)
+			}
+			s.Cores = append(s.Cores, c)
+		default:
+			return nil, fmt.Errorf("soc: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("soc: read: %w", err)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("soc: no soc declaration found")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(text string) (*SOC, error) {
+	return Parse(strings.NewReader(text))
+}
+
+func parseCore(fields []string) (Core, error) {
+	var c Core
+	if len(fields) == 0 {
+		return c, fmt.Errorf("core line has no name")
+	}
+	c.Name = fields[0]
+	i := 1
+	for i < len(fields) {
+		key := fields[i]
+		if key == "scan" {
+			if i+1 >= len(fields) {
+				return c, fmt.Errorf("core %q: scan keyword with no chain lengths", c.Name)
+			}
+			for _, f := range fields[i+1:] {
+				l, err := strconv.Atoi(f)
+				if err != nil {
+					return c, fmt.Errorf("core %q: bad scan chain length %q", c.Name, f)
+				}
+				c.ScanChains = append(c.ScanChains, l)
+			}
+			i = len(fields)
+			continue
+		}
+		if i+1 >= len(fields) {
+			return c, fmt.Errorf("core %q: attribute %q has no value", c.Name, key)
+		}
+		v, err := strconv.Atoi(fields[i+1])
+		if err != nil {
+			return c, fmt.Errorf("core %q: attribute %q: bad integer %q", c.Name, key, fields[i+1])
+		}
+		switch key {
+		case "inputs":
+			c.Inputs = v
+		case "outputs":
+			c.Outputs = v
+		case "bidirs":
+			c.Bidirs = v
+		case "patterns":
+			c.Patterns = v
+		default:
+			return c, fmt.Errorf("core %q: unknown attribute %q", c.Name, key)
+		}
+		i += 2
+	}
+	return c, c.Validate()
+}
+
+// Encode writes the SOC to w in the .soc text format. The output round-
+// trips through Parse.
+func (s *SOC) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "soc %s\n", s.Name)
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("core%d", i+1)
+		}
+		fmt.Fprintf(bw, "core %s inputs %d outputs %d", name, c.Inputs, c.Outputs)
+		if c.Bidirs != 0 {
+			fmt.Fprintf(bw, " bidirs %d", c.Bidirs)
+		}
+		fmt.Fprintf(bw, " patterns %d", c.Patterns)
+		if len(c.ScanChains) > 0 {
+			fmt.Fprint(bw, " scan")
+			for _, l := range c.ScanChains {
+				fmt.Fprintf(bw, " %d", l)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// EncodeString returns the .soc text for the SOC.
+func (s *SOC) EncodeString() string {
+	var b strings.Builder
+	_ = s.Encode(&b) // strings.Builder never fails
+	return b.String()
+}

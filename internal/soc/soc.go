@@ -1,0 +1,199 @@
+// Package soc defines the system-on-chip data model shared by the whole
+// library: embedded cores with functional terminals and internal scan
+// chains, grouped into an SOC under test.
+//
+// The model follows the test-resource view of the DATE 2002 paper
+// "Efficient Wrapper/TAM Co-Optimization for Large SOCs" and its JETTA 2002
+// predecessor: a core is characterized by its functional input/output/
+// bidirectional terminal counts, the lengths of its internal scan chains,
+// and the number of test patterns applied to it. Logic cores carry scan
+// chains; memory cores typically have none.
+package soc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+)
+
+// Cycles counts test clock cycles. Testing times routinely reach millions
+// of cycles on industrial SOCs, so a 64-bit type is used throughout.
+type Cycles int64
+
+// Core describes one embedded core's test resources.
+type Core struct {
+	// Name identifies the core (e.g. "s38584"). Optional but recommended.
+	Name string
+	// Inputs is the number of functional input terminals.
+	Inputs int
+	// Outputs is the number of functional output terminals.
+	Outputs int
+	// Bidirs is the number of bidirectional terminals. A bidirectional
+	// terminal needs a wrapper cell on both the scan-in and scan-out
+	// side, so it counts toward both input and output cell totals.
+	Bidirs int
+	// Patterns is the number of test patterns applied to the core.
+	Patterns int
+	// ScanChains holds the length (in flip-flops) of each internal scan
+	// chain. Empty for non-scan (combinational or memory) cores. Internal
+	// scan chains are fixed-length: they cannot be split across wrapper
+	// scan chains.
+	ScanChains []int
+}
+
+// InputCells returns the number of wrapper cells on the scan-in side
+// contributed by functional terminals (inputs plus bidirs).
+func (c *Core) InputCells() int { return c.Inputs + c.Bidirs }
+
+// OutputCells returns the number of wrapper cells on the scan-out side
+// contributed by functional terminals (outputs plus bidirs).
+func (c *Core) OutputCells() int { return c.Outputs + c.Bidirs }
+
+// Terminals returns the total functional terminal count (inputs + outputs
+// + bidirs), the "functional I/Os" figure reported in the paper's range
+// tables.
+func (c *Core) Terminals() int { return c.Inputs + c.Outputs + c.Bidirs }
+
+// ScanCells returns the total number of internal scan flip-flops.
+func (c *Core) ScanCells() int {
+	total := 0
+	for _, l := range c.ScanChains {
+		total += l
+	}
+	return total
+}
+
+// ScanTestable reports whether the core has internal scan chains. The
+// paper calls such cores "scan-testable logic cores"; cores without scan
+// (memories, combinational blocks) are tested through wrapper boundary
+// cells only.
+func (c *Core) ScanTestable() bool { return len(c.ScanChains) > 0 }
+
+// MaxScanChain returns the longest internal scan chain length, or 0 for a
+// core without scan.
+func (c *Core) MaxScanChain() int {
+	longest := 0
+	for _, l := range c.ScanChains {
+		if l > longest {
+			longest = l
+		}
+	}
+	return longest
+}
+
+// MinScanChain returns the shortest internal scan chain length, or 0 for a
+// core without scan.
+func (c *Core) MinScanChain() int {
+	if len(c.ScanChains) == 0 {
+		return 0
+	}
+	shortest := c.ScanChains[0]
+	for _, l := range c.ScanChains[1:] {
+		if l < shortest {
+			shortest = l
+		}
+	}
+	return shortest
+}
+
+// TestDataVolume returns the per-core contribution to the SOC test
+// complexity metric: patterns × (terminal cells + scan cells). Bidirs
+// count twice because they own two wrapper cells.
+func (c *Core) TestDataVolume() int64 {
+	cells := int64(c.Inputs) + int64(c.Outputs) + 2*int64(c.Bidirs) + int64(c.ScanCells())
+	return int64(c.Patterns) * cells
+}
+
+// Clone returns a deep copy of the core.
+func (c *Core) Clone() Core {
+	d := *c
+	d.ScanChains = slices.Clone(c.ScanChains)
+	return d
+}
+
+// Validate reports the first structural problem with the core, or nil.
+func (c *Core) Validate() error {
+	switch {
+	case c.Inputs < 0:
+		return fmt.Errorf("soc: core %q: negative input count %d", c.Name, c.Inputs)
+	case c.Outputs < 0:
+		return fmt.Errorf("soc: core %q: negative output count %d", c.Name, c.Outputs)
+	case c.Bidirs < 0:
+		return fmt.Errorf("soc: core %q: negative bidir count %d", c.Name, c.Bidirs)
+	case c.Patterns < 0:
+		return fmt.Errorf("soc: core %q: negative pattern count %d", c.Name, c.Patterns)
+	}
+	for i, l := range c.ScanChains {
+		if l <= 0 {
+			return fmt.Errorf("soc: core %q: scan chain %d has non-positive length %d", c.Name, i, l)
+		}
+	}
+	if c.Patterns > 0 && c.Terminals() == 0 && len(c.ScanChains) == 0 {
+		return fmt.Errorf("soc: core %q: has %d patterns but no terminals or scan chains to deliver them", c.Name, c.Patterns)
+	}
+	return nil
+}
+
+// SOC is a system-on-chip: a named collection of embedded cores.
+type SOC struct {
+	Name  string
+	Cores []Core
+}
+
+// ErrNoCores is returned by Validate for an SOC without any cores.
+var ErrNoCores = errors.New("soc: SOC has no cores")
+
+// Validate checks the SOC and every core in it.
+func (s *SOC) Validate() error {
+	if len(s.Cores) == 0 {
+		return ErrNoCores
+	}
+	for i := range s.Cores {
+		if err := s.Cores[i].Validate(); err != nil {
+			return fmt.Errorf("core %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the SOC.
+func (s *SOC) Clone() *SOC {
+	d := &SOC{Name: s.Name, Cores: make([]Core, len(s.Cores))}
+	for i := range s.Cores {
+		d.Cores[i] = s.Cores[i].Clone()
+	}
+	return d
+}
+
+// NumScanTestable returns the number of cores with internal scan chains.
+func (s *SOC) NumScanTestable() int {
+	n := 0
+	for i := range s.Cores {
+		if s.Cores[i].ScanTestable() {
+			n++
+		}
+	}
+	return n
+}
+
+// TestComplexity computes the SOC test complexity number used to name the
+// industrial SOCs in the paper (e.g. p93791): the sum over cores of
+// patterns × (wrapper cells + scan cells), divided by 1000 and rounded to
+// the nearest integer.
+func (s *SOC) TestComplexity() int {
+	var total int64
+	for i := range s.Cores {
+		total += s.Cores[i].TestDataVolume()
+	}
+	return int(math.Round(float64(total) / 1000.0))
+}
+
+// String returns a one-line summary of the SOC.
+func (s *SOC) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d cores (%d scan-testable), test complexity %d",
+		s.Name, len(s.Cores), s.NumScanTestable(), s.TestComplexity())
+	return b.String()
+}

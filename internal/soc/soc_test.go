@@ -1,0 +1,224 @@
+package soc
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreAccessors(t *testing.T) {
+	c := Core{Name: "x", Inputs: 10, Outputs: 20, Bidirs: 3, Patterns: 7, ScanChains: []int{5, 9, 2}}
+	if got := c.InputCells(); got != 13 {
+		t.Errorf("InputCells = %d, want 13", got)
+	}
+	if got := c.OutputCells(); got != 23 {
+		t.Errorf("OutputCells = %d, want 23", got)
+	}
+	if got := c.Terminals(); got != 33 {
+		t.Errorf("Terminals = %d, want 33", got)
+	}
+	if got := c.ScanCells(); got != 16 {
+		t.Errorf("ScanCells = %d, want 16", got)
+	}
+	if got := c.MaxScanChain(); got != 9 {
+		t.Errorf("MaxScanChain = %d, want 9", got)
+	}
+	if got := c.MinScanChain(); got != 2 {
+		t.Errorf("MinScanChain = %d, want 2", got)
+	}
+	if !c.ScanTestable() {
+		t.Error("ScanTestable = false, want true")
+	}
+	// patterns * (in + out + 2*bidirs + ff) = 7 * (10+20+6+16) = 364
+	if got := c.TestDataVolume(); got != 364 {
+		t.Errorf("TestDataVolume = %d, want 364", got)
+	}
+}
+
+func TestCoreNoScan(t *testing.T) {
+	c := Core{Name: "mem", Inputs: 4, Outputs: 4, Patterns: 100}
+	if c.ScanTestable() {
+		t.Error("ScanTestable = true for memory core")
+	}
+	if c.MaxScanChain() != 0 || c.MinScanChain() != 0 {
+		t.Error("scan chain extrema should be 0 for non-scan core")
+	}
+}
+
+func TestCoreValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Core
+		ok   bool
+	}{
+		{"valid", Core{Inputs: 1, Patterns: 1}, true},
+		{"valid scan", Core{Inputs: 1, Patterns: 1, ScanChains: []int{3}}, true},
+		{"zero patterns ok", Core{Inputs: 1}, true},
+		{"negative inputs", Core{Inputs: -1}, false},
+		{"negative outputs", Core{Outputs: -2}, false},
+		{"negative bidirs", Core{Bidirs: -2}, false},
+		{"negative patterns", Core{Patterns: -5}, false},
+		{"zero-length chain", Core{Inputs: 1, ScanChains: []int{4, 0}}, false},
+		{"negative chain", Core{Inputs: 1, ScanChains: []int{-4}}, false},
+		{"patterns without resources", Core{Patterns: 3}, false},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestSOCValidate(t *testing.T) {
+	var s SOC
+	if err := s.Validate(); !errors.Is(err, ErrNoCores) {
+		t.Errorf("empty SOC: Validate() = %v, want ErrNoCores", err)
+	}
+	s.Cores = []Core{{Inputs: 1, Patterns: 1}, {Patterns: -1}}
+	if err := s.Validate(); err == nil {
+		t.Error("SOC with bad core: Validate() = nil, want error")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := &SOC{Name: "a", Cores: []Core{{Name: "c", ScanChains: []int{1, 2}}}}
+	d := s.Clone()
+	d.Cores[0].ScanChains[0] = 99
+	if s.Cores[0].ScanChains[0] != 1 {
+		t.Error("Clone shares scan chain storage with original")
+	}
+}
+
+func TestTestComplexity(t *testing.T) {
+	// Two cores: 10*(5+5) = 100 and 990*(1+0) = 990 -> 1090/1000 rounds to 1.
+	s := &SOC{Name: "t", Cores: []Core{
+		{Inputs: 5, Outputs: 5, Patterns: 10},
+		{Inputs: 1, Patterns: 990},
+	}}
+	if got := s.TestComplexity(); got != 1 {
+		t.Errorf("TestComplexity = %d, want 1", got)
+	}
+	// 1500/1000 rounds to 2.
+	s.Cores[1].Patterns = 1400
+	if got := s.TestComplexity(); got != 2 {
+		t.Errorf("TestComplexity = %d, want 2", got)
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	text := `
+# d695-like fragment
+soc demo
+core c6288 inputs 32 outputs 32 patterns 12
+core s9234 inputs 36 outputs 39 patterns 105 scan 54 54 52 51
+core ram inputs 8 outputs 8 bidirs 2 patterns 64
+`
+	s, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if s.Name != "demo" || len(s.Cores) != 3 {
+		t.Fatalf("parsed %q with %d cores, want demo with 3", s.Name, len(s.Cores))
+	}
+	want := Core{Name: "s9234", Inputs: 36, Outputs: 39, Patterns: 105, ScanChains: []int{54, 54, 52, 51}}
+	if !reflect.DeepEqual(s.Cores[1], want) {
+		t.Errorf("core 2 = %+v, want %+v", s.Cores[1], want)
+	}
+	if s.Cores[2].Bidirs != 2 {
+		t.Errorf("core 3 bidirs = %d, want 2", s.Cores[2].Bidirs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"empty", ""},
+		{"no soc", "core a inputs 1 patterns 1"},
+		{"duplicate soc", "soc a\nsoc b"},
+		{"soc extra fields", "soc a b"},
+		{"unknown directive", "soc a\nwrapper x"},
+		{"core no name", "soc a\ncore"},
+		{"bad attribute", "soc a\ncore c widgets 5"},
+		{"attribute no value", "soc a\ncore c inputs"},
+		{"bad integer", "soc a\ncore c inputs five"},
+		{"scan no lengths", "soc a\ncore c inputs 1 scan"},
+		{"bad scan length", "soc a\ncore c inputs 1 scan 4 x"},
+		{"negative value", "soc a\ncore c inputs -3"},
+		{"zero chain", "soc a\ncore c inputs 1 scan 0"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.text); err == nil {
+			t.Errorf("%s: ParseString succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s, err := ParseString("soc x # trailing\n# full line\n\ncore c inputs 1 patterns 2 # eol\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(s.Cores) != 1 || s.Cores[0].Patterns != 2 {
+		t.Errorf("comment handling broke parsing: %+v", s)
+	}
+}
+
+// randomSOC builds a structurally valid random SOC for round-trip testing.
+func randomSOC(r *rand.Rand) *SOC {
+	n := 1 + r.Intn(12)
+	s := &SOC{Name: "rt"}
+	for i := 0; i < n; i++ {
+		c := Core{
+			Name:     "c" + string(rune('a'+i)),
+			Inputs:   1 + r.Intn(300),
+			Outputs:  r.Intn(300),
+			Bidirs:   r.Intn(10),
+			Patterns: r.Intn(2000),
+		}
+		for k := r.Intn(6); k > 0; k-- {
+			c.ScanChains = append(c.ScanChains, 1+r.Intn(500))
+		}
+		s.Cores = append(s.Cores, c)
+	}
+	return s
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSOC(rand.New(rand.NewSource(seed)))
+		back, err := ParseString(s.EncodeString())
+		if err != nil {
+			t.Logf("round-trip parse error: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(s, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeNamesUnnamedCores(t *testing.T) {
+	s := &SOC{Name: "x", Cores: []Core{{Inputs: 1, Patterns: 1}}}
+	back, err := ParseString(s.EncodeString())
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if back.Cores[0].Name != "core1" {
+		t.Errorf("unnamed core encoded as %q, want core1", back.Cores[0].Name)
+	}
+}
+
+func TestSOCString(t *testing.T) {
+	s := &SOC{Name: "d695", Cores: []Core{
+		{Inputs: 5, Outputs: 5, Patterns: 10, ScanChains: []int{4}},
+		{Inputs: 1, Patterns: 990},
+	}}
+	got := s.String()
+	want := "d695: 2 cores (1 scan-testable), test complexity 1"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

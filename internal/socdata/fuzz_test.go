@@ -1,0 +1,101 @@
+package socdata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSynthesizeRandomSpecs drives the generator across random custom
+// specs: whenever synthesis succeeds, the produced SOC must match the
+// spec exactly (counts, ranges, complexity tolerance); failures must be
+// clean errors, never invalid SOCs.
+func TestSynthesizeRandomSpecs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Non-degenerate ranges need >= 2 cores per class to attain both
+		// endpoints, so the fuzz domain skips the 1-core case (covered
+		// by TestSynthesizeRejectsUnattainableRanges).
+		numMem := r.Intn(20)
+		if numMem == 1 {
+			numMem = 2
+		}
+		spec := SynthSpec{
+			Name:          "fuzz",
+			Seed:          r.Int63(),
+			NumLogic:      2 + r.Intn(19),
+			NumMemory:     numMem,
+			Complexity:    50 + r.Intn(20000),
+			LogicPatterns: Range{1 + r.Intn(50), 100 + r.Intn(2000)},
+			LogicIO:       Range{10 + r.Intn(50), 100 + r.Intn(1000)},
+			LogicChains:   Range{1 + r.Intn(4), 5 + r.Intn(40)},
+			LogicChainLen: Range{1 + r.Intn(20), 50 + r.Intn(800)},
+			MemPatterns:   Range{50 + r.Intn(200), 500 + r.Intn(12000)},
+			MemIO:         Range{5 + r.Intn(40), 50 + r.Intn(300)},
+		}
+		s, err := Synthesize(spec)
+		if err != nil {
+			// A clean refusal (target out of reach for these ranges) is
+			// acceptable; a nil SOC with nil error is not.
+			return true
+		}
+		if err := s.Validate(); err != nil {
+			t.Logf("seed %d: invalid SOC: %v", seed, err)
+			return false
+		}
+		rg := Summarize(s)
+		if rg.NumLogic != spec.NumLogic || rg.NumMemory != spec.NumMemory {
+			t.Logf("seed %d: counts %d/%d, want %d/%d", seed,
+				rg.NumLogic, rg.NumMemory, spec.NumLogic, spec.NumMemory)
+			return false
+		}
+		if rg.LogicPatterns != spec.LogicPatterns || rg.LogicIO != spec.LogicIO ||
+			rg.LogicChains != spec.LogicChains || rg.LogicChainLen != spec.LogicChainLen {
+			t.Logf("seed %d: logic ranges diverge: %+v vs spec", seed, rg)
+			return false
+		}
+		if spec.NumMemory > 0 && (rg.MemPatterns != spec.MemPatterns || rg.MemIO != spec.MemIO) {
+			t.Logf("seed %d: memory ranges diverge: %+v vs spec", seed, rg)
+			return false
+		}
+		got := s.TestComplexity()
+		// Synthesis converges to within 0.5% in raw volume units; the
+		// rounding to complexity units adds up to one more.
+		tol := spec.Complexity/200 + 1
+		if diff := got - spec.Complexity; diff < -tol || diff > tol {
+			t.Logf("seed %d: complexity %d, want %d +/- %d", seed, got, spec.Complexity, tol)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSynthesizeRejectsUnattainableRanges pins the 1-core constraint: a
+// single core of a class cannot attain both endpoints of a non-degenerate
+// range, so the generator must refuse rather than emit a wrong range
+// table.
+func TestSynthesizeRejectsUnattainableRanges(t *testing.T) {
+	spec := P21241Spec()
+	spec.NumMemory = 1
+	if _, err := Synthesize(spec); err == nil {
+		t.Error("one memory core with a non-degenerate range accepted")
+	}
+	spec = P21241Spec()
+	spec.NumLogic = 1
+	if _, err := Synthesize(spec); err == nil {
+		t.Error("one logic core with a non-degenerate range accepted")
+	}
+	// Degenerate ranges are fine with a single core.
+	one := SynthSpec{
+		Name: "one", Seed: 1, Complexity: 10,
+		NumLogic: 0, NumMemory: 1,
+		MemPatterns: Range{100, 100},
+		MemIO:       Range{100, 100},
+	}
+	if _, err := Synthesize(one); err != nil {
+		t.Errorf("degenerate single-core spec rejected: %v", err)
+	}
+}

@@ -1,0 +1,523 @@
+package socdata
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"soctam/internal/soc"
+)
+
+// Range is an inclusive integer interval from the paper's range
+// tables.
+type Range struct {
+	Min, Max int
+}
+
+func (r Range) clamp(v int) int {
+	if v < r.Min {
+		return r.Min
+	}
+	if v > r.Max {
+		return r.Max
+	}
+	return v
+}
+
+// logUniform draws an integer log-uniformly from the range, matching the
+// long-tailed spread of pattern counts and I/O counts on real SOCs.
+func (r Range) logUniform(rng *rand.Rand) int {
+	if r.Min >= r.Max {
+		return r.Min
+	}
+	lo, hi := math.Log(float64(r.Min)), math.Log(float64(r.Max))
+	return r.clamp(int(math.Round(math.Exp(lo + rng.Float64()*(hi-lo)))))
+}
+
+// uniform draws an integer uniformly from the range.
+func (r Range) uniform(rng *rand.Rand) int {
+	if r.Min >= r.Max {
+		return r.Min
+	}
+	return r.Min + rng.Intn(r.Max-r.Min+1)
+}
+
+// SynthSpec describes an industrial SOC to synthesize: the exact facts
+// the paper publishes about it.
+type SynthSpec struct {
+	// Name is the SOC name; its digits are the target test complexity
+	// (e.g. p21241 -> 21241).
+	Name string
+	// Complexity is the target test-complexity number.
+	Complexity int
+	// Seed makes generation deterministic.
+	Seed int64
+
+	NumLogic, NumMemory int
+
+	// Published parameter ranges (paper Tables 4, 8, 14).
+	LogicPatterns Range
+	LogicIO       Range
+	LogicChains   Range
+	LogicChainLen Range
+	MemPatterns   Range
+	MemIO         Range
+
+	// BottleneckIndex, if positive, places the largest logic core at this
+	// 1-based position (p31108's "Core 18" whose wrapper staircase floors
+	// the SOC testing time).
+	BottleneckIndex int
+}
+
+// P21241Spec returns the published facts for SOC p21241 (paper Table 4):
+// 28 cores, 6 memories and 22 scan-testable logic cores.
+func P21241Spec() SynthSpec {
+	return SynthSpec{
+		Name: "p21241", Complexity: 21241, Seed: 21241,
+		NumLogic: 22, NumMemory: 6,
+		LogicPatterns: Range{1, 785},
+		LogicIO:       Range{37, 1197},
+		LogicChains:   Range{1, 31},
+		LogicChainLen: Range{1, 400},
+		MemPatterns:   Range{222, 12324},
+		MemIO:         Range{52, 148},
+	}
+}
+
+// P31108Spec returns the published facts for SOC p31108 (paper Table 8):
+// 19 cores, 15 memories and 4 scan-testable logic cores, with a dominant
+// logic core at position 18.
+func P31108Spec() SynthSpec {
+	return SynthSpec{
+		Name: "p31108", Complexity: 31108, Seed: 31108,
+		NumLogic: 4, NumMemory: 15,
+		LogicPatterns: Range{210, 745},
+		LogicIO:       Range{109, 428},
+		LogicChains:   Range{1, 29},
+		LogicChainLen: Range{8, 806},
+		MemPatterns:   Range{128, 12236},
+		MemIO:         Range{11, 87},
+
+		BottleneckIndex: 18,
+	}
+}
+
+// P93791Spec returns the published facts for SOC p93791 (paper Table 14):
+// 32 cores, 18 memories and 14 scan-testable logic cores.
+func P93791Spec() SynthSpec {
+	return SynthSpec{
+		Name: "p93791", Complexity: 93791, Seed: 93791,
+		NumLogic: 14, NumMemory: 18,
+		LogicPatterns: Range{11, 6127},
+		LogicIO:       Range{109, 813},
+		LogicChains:   Range{11, 46},
+		LogicChainLen: Range{1, 521},
+		MemPatterns:   Range{42, 3085},
+		MemIO:         Range{21, 396},
+	}
+}
+
+// P21241 synthesizes SOC p21241.
+func P21241() *soc.SOC { return mustSynthesize(P21241Spec()) }
+
+// P31108 synthesizes SOC p31108.
+func P31108() *soc.SOC { return mustSynthesize(P31108Spec()) }
+
+// P93791 synthesizes SOC p93791.
+func P93791() *soc.SOC { return mustSynthesize(P93791Spec()) }
+
+func mustSynthesize(spec SynthSpec) *soc.SOC {
+	s, err := Synthesize(spec)
+	if err != nil {
+		panic(fmt.Sprintf("socdata: built-in spec failed: %v", err))
+	}
+	return s
+}
+
+// Synthesize builds a deterministic SOC matching the spec: core counts
+// and logic/memory split are exact, every range endpoint of the published
+// tables is attained by some core, and pattern counts of unpinned cores
+// are rescaled until the SOC test-complexity number matches the target
+// within 0.5%.
+func Synthesize(spec SynthSpec) (*soc.SOC, error) {
+	if spec.NumLogic < 0 || spec.NumMemory < 0 || spec.NumLogic+spec.NumMemory == 0 {
+		return nil, fmt.Errorf("socdata: spec %q has no cores", spec.Name)
+	}
+	if spec.Complexity <= 0 {
+		return nil, fmt.Errorf("socdata: spec %q has no complexity target", spec.Name)
+	}
+	// A non-degenerate range needs at least two cores of the class to
+	// attain both endpoints.
+	if spec.NumLogic == 1 {
+		for _, r := range []Range{spec.LogicPatterns, spec.LogicIO, spec.LogicChains, spec.LogicChainLen} {
+			if r.Min != r.Max {
+				return nil, fmt.Errorf("socdata: spec %q: one logic core cannot attain range %d-%d", spec.Name, r.Min, r.Max)
+			}
+		}
+	}
+	if spec.NumMemory == 1 {
+		for _, r := range []Range{spec.MemPatterns, spec.MemIO} {
+			if r.Min != r.Max {
+				return nil, fmt.Errorf("socdata: spec %q: one memory core cannot attain range %d-%d", spec.Name, r.Min, r.Max)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	logic := make([]soc.Core, spec.NumLogic)
+	p := newPins()
+	for i := range logic {
+		logic[i] = synthLogicCore(spec, rng, i)
+	}
+	pinLogicEndpoints(spec, logic, p)
+
+	mems := make([]soc.Core, spec.NumMemory)
+	for i := range mems {
+		mems[i] = synthMemoryCore(spec, rng, i)
+	}
+	pinMemoryEndpoints(spec, mems, p)
+
+	s := assemble(spec, rng, logic, mems)
+	if err := scaleToComplexity(spec, s, p); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("socdata: synthesized %q invalid: %w", spec.Name, err)
+	}
+	return s, nil
+}
+
+// pins records which cores carry a pinned range endpoint, by core name.
+// Pinned parameters are exempt from complexity scaling so the published
+// range tables stay matched exactly.
+type pins struct {
+	patterns  map[string]bool // pattern count pinned
+	io        map[string]bool // terminal total pinned
+	chainZero map[string]bool // ScanChains[0] pinned to a length endpoint
+}
+
+func newPins() *pins {
+	return &pins{
+		patterns:  map[string]bool{},
+		io:        map[string]bool{},
+		chainZero: map[string]bool{},
+	}
+}
+
+func synthLogicCore(spec SynthSpec, rng *rand.Rand, i int) soc.Core {
+	c := soc.Core{
+		Name:     fmt.Sprintf("logic%02d", i+1),
+		Patterns: spec.LogicPatterns.logUniform(rng),
+	}
+	setIO(&c, spec.LogicIO.logUniform(rng), rng)
+	// Real cores have roughly equal-length chains: draw a per-core
+	// nominal length and scatter chains within ±12% of it.
+	nominal := spec.LogicChainLen.logUniform(rng)
+	nChains := spec.LogicChains.uniform(rng)
+	c.ScanChains = make([]int, nChains)
+	for j := range c.ScanChains {
+		jitter := 1 + (rng.Float64()-0.5)*0.24
+		c.ScanChains[j] = spec.LogicChainLen.clamp(int(math.Round(float64(nominal) * jitter)))
+	}
+	return c
+}
+
+func synthMemoryCore(spec SynthSpec, rng *rand.Rand, i int) soc.Core {
+	c := soc.Core{
+		Name:     fmt.Sprintf("mem%02d", i+1),
+		Patterns: spec.MemPatterns.logUniform(rng),
+	}
+	setIO(&c, spec.MemIO.logUniform(rng), rng)
+	return c
+}
+
+// setIO splits a functional terminal total into inputs and outputs.
+func setIO(c *soc.Core, total int, rng *rand.Rand) {
+	frac := 0.35 + rng.Float64()*0.3
+	c.Inputs = int(math.Round(float64(total) * frac))
+	if c.Inputs < 1 {
+		c.Inputs = 1
+	}
+	if c.Inputs > total {
+		c.Inputs = total
+	}
+	c.Outputs = total - c.Inputs
+}
+
+// pinLogicEndpoints forces every published logic range endpoint to be
+// attained, spreading the pins over distinct cores where possible. Pinned
+// parameters are recorded so complexity scaling leaves them untouched.
+func pinLogicEndpoints(spec SynthSpec, logic []soc.Core, p *pins) {
+	n := len(logic)
+	if n == 0 {
+		return
+	}
+	at := func(k int) *soc.Core { return &logic[k%n] }
+
+	at(0).Patterns = spec.LogicPatterns.Min
+	p.patterns[at(0).Name] = true
+	at(1).Patterns = spec.LogicPatterns.Max
+	p.patterns[at(1).Name] = true
+	resizeIO(at(2), spec.LogicIO.Min)
+	p.io[at(2).Name] = true
+	resizeIO(at(3), spec.LogicIO.Max)
+	p.io[at(3).Name] = true
+	// Chain counts never change after generation, so pinning the counts
+	// needs no scaling exemption; chain lengths do.
+	resizeChains(at(4), spec.LogicChains.Min, spec.LogicChainLen)
+	resizeChains(at(5), spec.LogicChains.Max, spec.LogicChainLen)
+	at(6).ScanChains[0] = spec.LogicChainLen.Min
+	p.chainZero[at(6).Name] = true
+	at(7).ScanChains[0] = spec.LogicChainLen.Max
+	p.chainZero[at(7).Name] = true
+}
+
+func pinMemoryEndpoints(spec SynthSpec, mems []soc.Core, p *pins) {
+	n := len(mems)
+	if n == 0 {
+		return
+	}
+	at := func(k int) *soc.Core { return &mems[k%n] }
+	at(0).Patterns = spec.MemPatterns.Min
+	p.patterns[at(0).Name] = true
+	at(1).Patterns = spec.MemPatterns.Max
+	p.patterns[at(1).Name] = true
+	resizeIO(at(2), spec.MemIO.Min)
+	p.io[at(2).Name] = true
+	resizeIO(at(3), spec.MemIO.Max)
+	p.io[at(3).Name] = true
+}
+
+// resizeIO rescales a core's terminals to a new total, preserving the
+// input/output split roughly.
+func resizeIO(c *soc.Core, total int) {
+	cur := c.Inputs + c.Outputs
+	if cur == 0 {
+		c.Inputs = (total + 1) / 2
+		c.Outputs = total - c.Inputs
+		return
+	}
+	c.Inputs = int(math.Round(float64(c.Inputs) * float64(total) / float64(cur)))
+	if c.Inputs < 1 {
+		c.Inputs = 1
+	}
+	if c.Inputs > total {
+		c.Inputs = total
+	}
+	c.Outputs = total - c.Inputs
+}
+
+// resizeChains changes a core's chain count, reusing its nominal length.
+func resizeChains(c *soc.Core, count int, lengths Range) {
+	nominal := lengths.Min
+	if len(c.ScanChains) > 0 {
+		nominal = c.ScanChains[0]
+	}
+	c.ScanChains = make([]int, count)
+	for j := range c.ScanChains {
+		c.ScanChains[j] = lengths.clamp(nominal)
+	}
+}
+
+// assemble interleaves logic and memory cores deterministically and
+// honors the bottleneck placement.
+func assemble(spec SynthSpec, rng *rand.Rand, logic, mems []soc.Core) *soc.SOC {
+	all := make([]soc.Core, 0, len(logic)+len(mems))
+	all = append(all, logic...)
+	all = append(all, mems...)
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+
+	if spec.BottleneckIndex > 0 && spec.BottleneckIndex <= len(all) {
+		// Move the logic core with the largest test-data volume to the
+		// published bottleneck position.
+		biggest := -1
+		for i := range all {
+			if !all[i].ScanTestable() {
+				continue
+			}
+			if biggest < 0 || all[i].TestDataVolume() > all[biggest].TestDataVolume() {
+				biggest = i
+			}
+		}
+		if biggest >= 0 {
+			pos := spec.BottleneckIndex - 1
+			all[biggest], all[pos] = all[pos], all[biggest]
+		}
+	}
+	return &soc.SOC{Name: spec.Name, Cores: all}
+}
+
+// scaleToComplexity iteratively rescales unpinned parameters until the
+// SOC test-complexity number matches the target within 0.5%. Pattern
+// counts are the primary knob; when they saturate against the published
+// ranges, scan-chain lengths and terminal counts (still clamped to the
+// ranges, pins exempt) provide the remaining reach.
+func scaleToComplexity(spec SynthSpec, s *soc.SOC, p *pins) error {
+	target := int64(spec.Complexity) * 1000
+	tol := target / 200
+	total := totalVolume(s)
+	for iter := 0; iter < 300; iter++ {
+		if abs64(target-total) <= tol {
+			return nil
+		}
+		scale := damp(float64(target) / float64(total))
+		moved := scalePatterns(spec, s, p, scale)
+		total = totalVolume(s)
+		if abs64(target-total) <= tol {
+			return nil
+		}
+		if scaleCells(spec, s, p, damp(float64(target)/float64(total))) {
+			moved = true
+		}
+		total = totalVolume(s)
+		if !moved {
+			return fmt.Errorf("socdata: %q: complexity scaling stalled at %d (target %d)",
+				spec.Name, total/1000, spec.Complexity)
+		}
+	}
+	return fmt.Errorf("socdata: %q: complexity scaling did not converge (at %d, target %d)",
+		spec.Name, total/1000, spec.Complexity)
+}
+
+func totalVolume(s *soc.SOC) int64 {
+	var total int64
+	for i := range s.Cores {
+		total += s.Cores[i].TestDataVolume()
+	}
+	return total
+}
+
+// damp keeps multiplicative updates gentle enough to converge.
+func damp(scale float64) float64 {
+	switch {
+	case scale > 4:
+		return 4
+	case scale < 0.25:
+		return 0.25
+	}
+	return scale
+}
+
+// scalePatterns multiplies unpinned pattern counts by scale, clamped to
+// the published ranges. It reports whether anything changed.
+func scalePatterns(spec SynthSpec, s *soc.SOC, p *pins, scale float64) bool {
+	moved := false
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		if p.patterns[c.Name] {
+			continue
+		}
+		r := spec.LogicPatterns
+		if !c.ScanTestable() {
+			r = spec.MemPatterns
+		}
+		next := r.clamp(int(math.Round(float64(c.Patterns) * scale)))
+		if next != c.Patterns {
+			c.Patterns = next
+			moved = true
+		}
+	}
+	return moved
+}
+
+// scaleCells multiplies unpinned scan-chain lengths and terminal totals
+// by scale, clamped to the published ranges. It reports whether anything
+// changed.
+func scaleCells(spec SynthSpec, s *soc.SOC, p *pins, scale float64) bool {
+	moved := false
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		if c.ScanTestable() {
+			for j := range c.ScanChains {
+				if j == 0 && p.chainZero[c.Name] {
+					continue
+				}
+				next := spec.LogicChainLen.clamp(int(math.Round(float64(c.ScanChains[j]) * scale)))
+				if next != c.ScanChains[j] {
+					c.ScanChains[j] = next
+					moved = true
+				}
+			}
+		}
+		if p.io[c.Name] {
+			continue
+		}
+		r := spec.LogicIO
+		if !c.ScanTestable() {
+			r = spec.MemIO
+		}
+		next := r.clamp(int(math.Round(float64(c.Terminals()) * scale)))
+		if next != c.Terminals() {
+			resizeIO(c, next)
+			moved = true
+		}
+	}
+	return moved
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Ranges summarizes a synthesized (or real) SOC the way the paper's
+// Tables 4, 8 and 14 do: per circuit class, the ranges of test patterns,
+// functional I/Os, scan chain counts and scan chain lengths.
+type Ranges struct {
+	NumLogic, NumMemory int
+
+	LogicPatterns Range
+	LogicIO       Range
+	LogicChains   Range
+	LogicChainLen Range
+
+	MemPatterns Range
+	MemIO       Range
+}
+
+// rangeAcc accumulates a min/max interval.
+type rangeAcc struct {
+	set bool
+	r   Range
+}
+
+func (a *rangeAcc) add(v int) {
+	if !a.set {
+		a.r = Range{v, v}
+		a.set = true
+		return
+	}
+	if v < a.r.Min {
+		a.r.Min = v
+	}
+	if v > a.r.Max {
+		a.r.Max = v
+	}
+}
+
+// Summarize computes the range table of an SOC.
+func Summarize(s *soc.SOC) Ranges {
+	var lp, lio, lch, llen, mp, mio rangeAcc
+	var r Ranges
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		if c.ScanTestable() {
+			r.NumLogic++
+			lp.add(c.Patterns)
+			lio.add(c.Terminals())
+			lch.add(len(c.ScanChains))
+			for _, l := range c.ScanChains {
+				llen.add(l)
+			}
+		} else {
+			r.NumMemory++
+			mp.add(c.Patterns)
+			mio.add(c.Terminals())
+		}
+	}
+	r.LogicPatterns, r.LogicIO, r.LogicChains, r.LogicChainLen = lp.r, lio.r, lch.r, llen.r
+	r.MemPatterns, r.MemIO = mp.r, mio.r
+	return r
+}

@@ -1,0 +1,98 @@
+package wrapper
+
+import (
+	"testing"
+
+	"soctam/internal/soc"
+)
+
+// s38584 as reconstructed in the d695 benchmark: the largest ISCAS'89
+// core, whose staircase drives the d695 testing-time floor.
+func s38584() *soc.Core {
+	chains := make([]int, 16)
+	for i := range chains {
+		chains[i] = 89
+	}
+	chains[0], chains[1] = 90, 90
+	return &soc.Core{
+		Name: "s38584", Inputs: 38, Outputs: 304, Patterns: 110,
+		ScanChains: chains,
+	}
+}
+
+// TestS38584StaircasePins locks the exact staircase values of the
+// dominant d695 core: these feed every d695 result table, so a change
+// here silently shifts the whole reproduction.
+func TestS38584StaircasePins(t *testing.T) {
+	c := s38584()
+	table, err := TimeTable(c, 16)
+	if err != nil {
+		t.Fatalf("TimeTable: %v", err)
+	}
+	pins := map[int]soc.Cycles{
+		1:  191874, // single wrapper chain: all 1426 FFs + cells serial
+		2:  95992,
+		4:  48106,
+		8:  24163,
+		16: 12192, // one internal chain per wrapper chain; 304 output
+		// cells still lift the scan-out path to 109
+	}
+	for w, want := range pins {
+		if table[w-1] != want {
+			t.Errorf("T(%d) = %d, want %d", w, table[w-1], want)
+		}
+	}
+	// Past w=32 the 304 output cells fit below the longest internal
+	// chain (90 FFs), which then pins both paths: the true floor.
+	floor := TestTime(c.Patterns, 90, 90) // (1+90)*110 + 90 = 10100
+	for _, w := range []int{32, 64, 128} {
+		got, err := Time(c, w)
+		if err != nil {
+			t.Fatalf("Time(%d): %v", w, err)
+		}
+		if got != floor {
+			t.Errorf("T(%d) = %d, want the chain-pinned floor %d", w, got, floor)
+		}
+	}
+}
+
+// TestStaircaseFloorMatchesChainBound verifies the floor interpretation:
+// at full width the time equals (1 + si)·p + so with si pinned by the
+// longest internal chain plus its share of input cells.
+func TestStaircaseFloorMatchesChainBound(t *testing.T) {
+	c := s38584()
+	d, err := DesignWrapper(c, 64)
+	if err != nil {
+		t.Fatalf("DesignWrapper: %v", err)
+	}
+	if d.ScanIn < c.MaxScanChain() || d.ScanOut < c.MaxScanChain() {
+		t.Errorf("paths si=%d so=%d below the longest chain %d", d.ScanIn, d.ScanOut, c.MaxScanChain())
+	}
+	if want := TestTime(c.Patterns, d.ScanIn, d.ScanOut); d.Time != want {
+		t.Errorf("floor time %d != formula %d", d.Time, want)
+	}
+}
+
+// TestMemoryCoreStaircase pins the no-scan staircase: pure ceil division
+// of terminal cells.
+func TestMemoryCoreStaircase(t *testing.T) {
+	c := &soc.Core{Name: "mem", Inputs: 100, Outputs: 60, Patterns: 1000}
+	for _, tc := range []struct {
+		w    int
+		want soc.Cycles
+	}{
+		{1, soc.Cycles(1+100)*1000 + 60}, // si=100, so=60
+		{10, soc.Cycles(1+10)*1000 + 6},  // si=10, so=6
+		{50, soc.Cycles(1+2)*1000 + 2},   // si=2, so=2
+		{100, soc.Cycles(1+1)*1000 + 1},  // fully parallel
+		{200, soc.Cycles(1+1)*1000 + 1},  // extra wires are useless
+	} {
+		got, err := Time(c, tc.w)
+		if err != nil {
+			t.Fatalf("Time(%d): %v", tc.w, err)
+		}
+		if got != tc.want {
+			t.Errorf("T(%d) = %d, want %d", tc.w, got, tc.want)
+		}
+	}
+}

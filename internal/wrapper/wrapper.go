@@ -1,0 +1,308 @@
+// Package wrapper implements test wrapper design for embedded cores — the
+// problem P_W of the DATE 2002 paper — using the Design_wrapper algorithm
+// from the JETTA 2002 predecessor paper.
+//
+// A core wrapper chains the core's internal scan chains and its functional
+// terminal cells into at most w "wrapper scan chains", where w is the
+// width of the TAM the core is attached to. The test time of the core is
+//
+//	T = (1 + max(si, so))·p + min(si, so)
+//
+// where p is the pattern count, si is the longest scan-in path (input
+// cells + internal scan cells on one wrapper chain) and so the longest
+// scan-out path. Scan-in of the next pattern overlaps scan-out of the
+// previous one, hence the min term.
+//
+// Design_wrapper pursues two priorities: (i) minimize core test time and
+// (ii) minimize the TAM width actually used. It balances internal scan
+// chains over candidate wrapper-chain counts k = 1..w (Best-Fit-Decreasing
+// flavored balancing) and keeps the smallest k that reaches the minimum
+// time — the paper's "built-in reluctance to create a new wrapper scan
+// chain".
+package wrapper
+
+import (
+	"fmt"
+	"sort"
+
+	"soctam/internal/soc"
+)
+
+// Chain is one wrapper scan chain: the internal scan chains placed on it
+// plus the functional terminal cells chained before (inputs) and after
+// (outputs) them.
+type Chain struct {
+	// ScanChains lists the lengths of internal scan chains on this
+	// wrapper chain.
+	ScanChains []int
+	// InputCells and OutputCells are the number of functional terminal
+	// cells placed on the scan-in and scan-out side.
+	InputCells  int
+	OutputCells int
+}
+
+// ScanInLength returns the scan-in path length of the chain.
+func (ch *Chain) ScanInLength() int {
+	n := ch.InputCells
+	for _, l := range ch.ScanChains {
+		n += l
+	}
+	return n
+}
+
+// ScanOutLength returns the scan-out path length of the chain.
+func (ch *Chain) ScanOutLength() int {
+	n := ch.OutputCells
+	for _, l := range ch.ScanChains {
+		n += l
+	}
+	return n
+}
+
+// Design is the wrapper configuration chosen for a core at a given TAM
+// width.
+type Design struct {
+	// TAMWidth is the width offered to Design_wrapper.
+	TAMWidth int
+	// Chains are the wrapper scan chains actually built; len(Chains) is
+	// the TAM width the core really consumes (<= TAMWidth).
+	Chains []Chain
+	// ScanIn is the longest scan-in path over all chains.
+	ScanIn int
+	// ScanOut is the longest scan-out path over all chains.
+	ScanOut int
+	// Time is the core test time in clock cycles.
+	Time soc.Cycles
+}
+
+// UsedWidth returns the number of wrapper chains actually created.
+func (d *Design) UsedWidth() int { return len(d.Chains) }
+
+// TestTime computes the core test time from pattern count and the longest
+// scan-in/scan-out paths: (1+max(si,so))·p + min(si,so). A core with zero
+// patterns takes zero time.
+func TestTime(patterns, scanIn, scanOut int) soc.Cycles {
+	if patterns == 0 {
+		return 0
+	}
+	longest, shortest := scanIn, scanOut
+	if shortest > longest {
+		longest, shortest = shortest, longest
+	}
+	return soc.Cycles(1+longest)*soc.Cycles(patterns) + soc.Cycles(shortest)
+}
+
+// DesignWrapper designs a wrapper for core c on a TAM of the given width,
+// minimizing test time first and used width second.
+func DesignWrapper(c *soc.Core, width int) (*Design, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("wrapper: TAM width %d < 1", width)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	chains := sortedChainsDesc(c)
+	bestK := 1
+	bestTime := soc.Cycles(-1)
+	for k := 1; k <= width; k++ {
+		si, so := pathsForK(c, chains, k)
+		t := TestTime(c.Patterns, si, so)
+		if bestTime < 0 || t < bestTime {
+			bestTime, bestK = t, k
+		}
+	}
+	d := buildDesign(c, chains, bestK)
+	d.TAMWidth = width
+	return d, nil
+}
+
+// Time returns just the test time of core c on a TAM of the given width.
+func Time(c *soc.Core, width int) (soc.Cycles, error) {
+	if width < 1 {
+		return 0, fmt.Errorf("wrapper: TAM width %d < 1", width)
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	chains := sortedChainsDesc(c)
+	best := soc.Cycles(-1)
+	for k := 1; k <= width; k++ {
+		si, so := pathsForK(c, chains, k)
+		if t := TestTime(c.Patterns, si, so); best < 0 || t < best {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// TimeTable returns T(w) for w = 1..maxWidth. T is a non-increasing
+// staircase; the table is the basic input to TAM optimization, indexed as
+// table[w-1].
+func TimeTable(c *soc.Core, maxWidth int) ([]soc.Cycles, error) {
+	if maxWidth < 1 {
+		return nil, fmt.Errorf("wrapper: max width %d < 1", maxWidth)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	chains := sortedChainsDesc(c)
+	table := make([]soc.Cycles, maxWidth)
+	best := soc.Cycles(-1)
+	for k := 1; k <= maxWidth; k++ {
+		si, so := pathsForK(c, chains, k)
+		if t := TestTime(c.Patterns, si, so); best < 0 || t < best {
+			best = t
+		}
+		table[k-1] = best
+	}
+	return table, nil
+}
+
+// ParetoWidths returns the widths w in 1..maxWidth at which T(w) strictly
+// improves on T(w-1) — the only TAM widths worth offering this core.
+func ParetoWidths(c *soc.Core, maxWidth int) ([]int, error) {
+	table, err := TimeTable(c, maxWidth)
+	if err != nil {
+		return nil, err
+	}
+	var ws []int
+	for w := 1; w <= maxWidth; w++ {
+		if w == 1 || table[w-1] < table[w-2] {
+			ws = append(ws, w)
+		}
+	}
+	return ws, nil
+}
+
+// sortedChainsDesc returns the core's internal scan chain lengths in
+// decreasing order.
+func sortedChainsDesc(c *soc.Core) []int {
+	chains := make([]int, len(c.ScanChains))
+	copy(chains, c.ScanChains)
+	sort.Sort(sort.Reverse(sort.IntSlice(chains)))
+	return chains
+}
+
+// pathsForK balances the internal scan chains over exactly k wrapper
+// chains and water-fills the terminal cells, returning the resulting
+// longest scan-in and scan-out paths.
+func pathsForK(c *soc.Core, chainsDesc []int, k int) (si, so int) {
+	loads := balance(chainsDesc, k)
+	si = fillLevel(loads, c.InputCells())
+	so = fillLevel(loads, c.OutputCells())
+	return si, so
+}
+
+// balance places each internal scan chain (pre-sorted decreasing) on the
+// currently shortest of k wrapper chains and returns the per-chain scan
+// totals. This is the longest-processing-time balancing at the heart of
+// Design_wrapper: internal chains are atomic items, so the result is the
+// classic 4/3-approximation of the optimal balance.
+func balance(chainsDesc []int, k int) []int {
+	loads := make([]int, k)
+	for _, l := range chainsDesc {
+		m := 0
+		for j := 1; j < k; j++ {
+			if loads[j] < loads[m] {
+				m = j
+			}
+		}
+		loads[m] += l
+	}
+	return loads
+}
+
+// fillLevel returns the longest path after optimally distributing q unit
+// cells over wrapper chains with the given scan loads: the smallest
+// achievable max_j(load_j + cells_j) with sum(cells_j) = q. Cells are
+// poured into the shortest chains first (water-filling), which is exact
+// because cells are unit-size.
+func fillLevel(loads []int, q int) int {
+	maxLoad := 0
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if q == 0 {
+		return maxLoad
+	}
+	// Binary search the smallest level t whose spare capacity holds q.
+	lo, hi := 1, maxLoad+q
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if capacityAt(loads, mid) >= q {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < maxLoad {
+		return maxLoad
+	}
+	return lo
+}
+
+// capacityAt returns how many unit cells fit under level t.
+func capacityAt(loads []int, t int) int {
+	free := 0
+	for _, l := range loads {
+		if l < t {
+			free += t - l
+		}
+	}
+	return free
+}
+
+// buildDesign reconstructs the full wrapper design for the chosen chain
+// count k, including the per-chain cell placement.
+func buildDesign(c *soc.Core, chainsDesc []int, k int) *Design {
+	d := &Design{Chains: make([]Chain, k)}
+	loads := make([]int, k)
+	for _, l := range chainsDesc {
+		m := 0
+		for j := 1; j < k; j++ {
+			if loads[j] < loads[m] {
+				m = j
+			}
+		}
+		loads[m] += l
+		d.Chains[m].ScanChains = append(d.Chains[m].ScanChains, l)
+	}
+	distribute(loads, c.InputCells(), func(j, n int) { d.Chains[j].InputCells = n })
+	distribute(loads, c.OutputCells(), func(j, n int) { d.Chains[j].OutputCells = n })
+	for i := range d.Chains {
+		if l := d.Chains[i].ScanInLength(); l > d.ScanIn {
+			d.ScanIn = l
+		}
+		if l := d.Chains[i].ScanOutLength(); l > d.ScanOut {
+			d.ScanOut = l
+		}
+	}
+	d.Time = TestTime(c.Patterns, d.ScanIn, d.ScanOut)
+	return d
+}
+
+// distribute assigns q unit cells to chains by water-filling up to the
+// optimal level and reports each chain's share through set.
+func distribute(loads []int, q int, set func(chain, cells int)) {
+	if q == 0 {
+		return
+	}
+	level := fillLevel(loads, q)
+	remaining := q
+	for j, l := range loads {
+		if remaining == 0 {
+			break
+		}
+		give := level - l
+		if give <= 0 {
+			continue
+		}
+		if give > remaining {
+			give = remaining
+		}
+		set(j, give)
+		remaining -= give
+	}
+}

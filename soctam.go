@@ -1,0 +1,171 @@
+// Package soctam is a Go library for wrapper/TAM co-optimization of
+// core-based systems-on-chip, reproducing the DATE 2002 paper "Efficient
+// Wrapper/TAM Co-Optimization for Large SOCs" by Iyengar, Chakrabarty and
+// Marinissen.
+//
+// Given an SOC described by its embedded cores (functional terminals,
+// internal scan chains, test pattern counts) and a total TAM width W, the
+// library designs a complete test access architecture: the number of test
+// buses, the width of each, the assignment of cores to buses, and a test
+// wrapper per core — minimizing the SOC testing time in clock cycles.
+//
+// The top-level entry points are:
+//
+//   - CoOptimize: the paper's full flow (Partition_evaluate heuristic +
+//     exact final optimization) for the problem P_NPAW;
+//   - CoOptimizeFixedTAMs: the same with the TAM count fixed (P_PAW);
+//   - Exhaustive / ExhaustiveRange: the exact enumerate-and-solve
+//     baseline of the earlier JETTA 2002 paper, for comparison;
+//   - DesignWrapper / TestTime: per-core wrapper design (P_W);
+//   - ParseSOC / (*SOC).Encode: the .soc text format;
+//   - D695, P21241, P31108, P93791: the paper's benchmark SOCs.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results of every table.
+package soctam
+
+import (
+	"io"
+
+	"soctam/internal/assign"
+	"soctam/internal/coopt"
+	"soctam/internal/schedule"
+	"soctam/internal/soc"
+	"soctam/internal/socdata"
+	"soctam/internal/wrapper"
+)
+
+// Core data model, re-exported from the internal packages.
+type (
+	// SOC is a system-on-chip: a named collection of embedded cores.
+	SOC = soc.SOC
+	// Core describes one embedded core's test resources.
+	Core = soc.Core
+	// Cycles counts test clock cycles.
+	Cycles = soc.Cycles
+
+	// WrapperDesign is a per-core test wrapper configuration.
+	WrapperDesign = wrapper.Design
+	// WrapperChain is one wrapper scan chain within a design.
+	WrapperChain = wrapper.Chain
+
+	// Assignment maps cores to TAMs with the resulting loads.
+	Assignment = assign.Assignment
+	// Instance is a fixed-widths core-assignment problem (P_AW).
+	Instance = assign.Instance
+
+	// Options tunes the co-optimization flows.
+	Options = coopt.Options
+	// Result is the outcome of a co-optimization run.
+	Result = coopt.Result
+	// Stats counts partition-evaluation work.
+	Stats = coopt.Stats
+	// Solver selects the exact engine for final optimization.
+	Solver = coopt.Solver
+
+	// Timeline is the test schedule implied by an architecture.
+	Timeline = schedule.Timeline
+	// TestSlot is one core's test on its TAM within a Timeline.
+	TestSlot = schedule.Slot
+	// Utilization is the wire-cycle accounting of a Timeline.
+	Utilization = schedule.Utilization
+)
+
+// Exact solver choices for Options.FinalSolver.
+const (
+	// SolverBB is the combinatorial branch and bound (default).
+	SolverBB = coopt.SolverBB
+	// SolverILP is the Section 3.2 integer linear program.
+	SolverILP = coopt.SolverILP
+)
+
+// ParseSOC reads an SOC in the .soc text format.
+func ParseSOC(r io.Reader) (*SOC, error) { return soc.Parse(r) }
+
+// ParseSOCString reads an SOC in the .soc text format from a string.
+func ParseSOCString(text string) (*SOC, error) { return soc.ParseString(text) }
+
+// DesignWrapper designs a test wrapper for core c on a TAM of the given
+// width (problem P_W), minimizing core testing time first and consumed
+// TAM width second.
+func DesignWrapper(c *Core, width int) (*WrapperDesign, error) {
+	return wrapper.DesignWrapper(c, width)
+}
+
+// TestTime returns the testing time of core c on a TAM of the given
+// width, as computed by Design_wrapper.
+func TestTime(c *Core, width int) (Cycles, error) { return wrapper.Time(c, width) }
+
+// TimeTable returns the testing time staircase T(w) for w = 1..maxWidth
+// (indexed as table[w-1]).
+func TimeTable(c *Core, maxWidth int) ([]Cycles, error) { return wrapper.TimeTable(c, maxWidth) }
+
+// ParetoWidths returns the TAM widths at which core c's testing time
+// strictly improves — the only widths worth offering the core.
+func ParetoWidths(c *Core, maxWidth int) ([]int, error) { return wrapper.ParetoWidths(c, maxWidth) }
+
+// NewInstance builds the P_AW assignment instance for an SOC on TAMs of
+// the given widths.
+func NewInstance(s *SOC, widths []int) (*Instance, error) { return assign.NewInstance(s, widths) }
+
+// CoreAssign runs the paper's Figure 1 heuristic on a P_AW instance.
+// bestKnown is an optional early-abort bound (0 = none); ok is false if
+// the run aborted against it.
+func CoreAssign(in *Instance, bestKnown Cycles) (a Assignment, ok bool) {
+	return assign.CoreAssign(in, bestKnown)
+}
+
+// SolveAssignment solves a P_AW instance exactly by branch and bound.
+func SolveAssignment(in *Instance, nodeLimit int64) (Assignment, bool, error) {
+	return assign.SolveExact(in, assign.ExactOptions{NodeLimit: nodeLimit})
+}
+
+// CoOptimize designs a complete test access architecture for the SOC
+// under a total TAM width budget (problem P_NPAW): TAM count, width
+// partition, core assignment and per-core wrappers.
+func CoOptimize(s *SOC, totalWidth int, opt Options) (Result, error) {
+	return coopt.CoOptimize(s, totalWidth, opt)
+}
+
+// CoOptimizeFixedTAMs co-optimizes with the TAM count fixed (P_PAW).
+func CoOptimizeFixedTAMs(s *SOC, totalWidth, numTAMs int, opt Options) (Result, error) {
+	return coopt.PartitionEvaluate(s, totalWidth, numTAMs, opt)
+}
+
+// Exhaustive runs the exact enumerate-and-solve baseline of [8] for a
+// fixed TAM count.
+func Exhaustive(s *SOC, totalWidth, numTAMs int, opt Options) (Result, error) {
+	return coopt.Exhaustive(s, totalWidth, numTAMs, opt)
+}
+
+// ExhaustiveRange runs the exact baseline over TAM counts 1..MaxTAMs.
+func ExhaustiveRange(s *SOC, totalWidth int, opt Options) (Result, error) {
+	return coopt.ExhaustiveRange(s, totalWidth, opt)
+}
+
+// BuildSchedule derives the test schedule of an SOC on a concrete
+// architecture: partition holds the TAM widths and tamOf the 0-based TAM
+// of every core (e.g. Result.Partition and Result.Assignment.TAMOf).
+func BuildSchedule(s *SOC, partition []int, tamOf []int) (*Timeline, error) {
+	return schedule.Build(s, partition, tamOf)
+}
+
+// LowerBound returns an architecture-independent lower bound on the SOC
+// testing time under a total TAM width: no TAM count, partition,
+// assignment or wrapper design can beat it.
+func LowerBound(s *SOC, totalWidth int) (Cycles, error) {
+	return coopt.LowerBound(s, totalWidth)
+}
+
+// D695 returns the academic benchmark SOC d695.
+func D695() *SOC { return socdata.D695() }
+
+// P21241 returns the synthesized industrial SOC p21241 (see DESIGN.md §4
+// for the substitution rationale).
+func P21241() *SOC { return socdata.P21241() }
+
+// P31108 returns the synthesized industrial SOC p31108.
+func P31108() *SOC { return socdata.P31108() }
+
+// P93791 returns the synthesized industrial SOC p93791.
+func P93791() *SOC { return socdata.P93791() }

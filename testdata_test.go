@@ -1,0 +1,36 @@
+package soctam_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"soctam"
+)
+
+// TestGoldenSOCFiles checks the .soc files shipped in testdata/ against
+// the in-code benchmark generators: the files are what cmd/socgen emits,
+// and a drift between file and generator means either the format or the
+// synthesis changed incompatibly.
+func TestGoldenSOCFiles(t *testing.T) {
+	for name, get := range map[string]func() *soctam.SOC{
+		"d695": soctam.D695, "p21241": soctam.P21241,
+		"p31108": soctam.P31108, "p93791": soctam.P93791,
+	} {
+		path := filepath.Join("testdata", name+".soc")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with: go run ./cmd/socgen -all -dir testdata)", name, err)
+		}
+		parsed, err := soctam.ParseSOC(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: parse: %v", name, err)
+			continue
+		}
+		if want := get(); !reflect.DeepEqual(parsed, want) {
+			t.Errorf("%s: golden file diverges from the generator; regenerate with cmd/socgen", name)
+		}
+	}
+}
