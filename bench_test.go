@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation, plus ablations of the design choices DESIGN.md calls out.
+// evaluation, plus ablations of the design choices ARCHITECTURE.md calls out.
 //
 // Table benches run the corresponding experiment generator on a reduced
 // width sweep (so a single iteration stays at benchmark scale) with the
@@ -184,6 +184,73 @@ func BenchmarkAblationTieBreaks(b *testing.B) {
 			b.ReportMetric(float64(last), "cycles")
 		})
 	}
+}
+
+// --- Parallel and packing benches --------------------------------------
+
+// BenchmarkParallelSolve measures the worker-pool speedup of partition
+// evaluation on d695: the same P_NPAW sweep at one worker (the paper's
+// sequential order) and at all CPUs. The final exact step is skipped so
+// the bench isolates the parallelized phase.
+func BenchmarkParallelSolve(b *testing.B) {
+	s := socdata.D695()
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"workers-1", 1}, {"workers-all", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var last soctam.Cycles
+			for i := 0; i < b.N; i++ {
+				res, err := coopt.Solve(s, 64, coopt.Options{
+					SkipFinal: true,
+					Workers:   tc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Time
+			}
+			b.ReportMetric(float64(last), "cycles")
+		})
+	}
+}
+
+// BenchmarkParallelSolveP21241 is the larger-SOC variant, where each
+// Core_assign evaluation is heavier and the pool amortizes better.
+func BenchmarkParallelSolveP21241(b *testing.B) {
+	s := socdata.P21241()
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"workers-1", 1}, {"workers-all", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := coopt.Solve(s, 48, coopt.Options{
+					MaxTAMs:   6,
+					SkipFinal: true,
+					Workers:   tc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPackingD695 measures the rectangle bin-packing backend.
+func BenchmarkPackingD695(b *testing.B) {
+	s := socdata.D695()
+	b.ReportAllocs()
+	var last soctam.Cycles
+	for i := 0; i < b.N; i++ {
+		res, err := coopt.Solve(s, 32, coopt.Options{Strategy: coopt.StrategyPacking})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Time
+	}
+	b.ReportMetric(float64(last), "cycles")
 }
 
 // --- Primitive benches -------------------------------------------------

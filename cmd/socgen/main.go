@@ -1,6 +1,6 @@
 // Command socgen emits the paper's benchmark SOCs as .soc files: the
 // reconstructed d695 and the synthesized industrial SOCs p21241, p31108
-// and p93791 (see DESIGN.md §4 for the synthesis rationale).
+// and p93791 (see ARCHITECTURE.md §4 for the synthesis rationale).
 //
 // Usage:
 //

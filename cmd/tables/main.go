@@ -6,8 +6,10 @@
 //
 //	tables                          # everything, paper parameters
 //	tables -only figure2,table1    # a subset
+//	tables -only packing           # rectangle packing vs partition flow
 //	tables -widths 16,32,64        # reduced width sweep
 //	tables -node-limit 1000000     # budget per exact solve
+//	tables -workers 1              # paper's sequential partition order
 //	tables -out results.txt        # write to a file
 //
 // Exact solves that exhaust their node budget are reported with
@@ -42,6 +44,7 @@ func run() error {
 		widthsArg = flag.String("widths", "", "comma-separated total TAM widths (default: the paper's 16..64 step 8)")
 		maxTAMs   = flag.Int("max-tams", 10, "largest TAM count in P_NPAW sweeps")
 		nodeLimit = flag.Int64("node-limit", 2_000_000, "node budget per exact solve (0 = solver default)")
+		workers   = flag.Int("workers", 0, "partition-evaluation goroutines (0 = all CPUs, 1 = paper's sequential order; table1 always runs sequentially for paper-comparable pruning stats)")
 		outPath   = flag.String("out", "", "output file (default: stdout)")
 	)
 	flag.Parse()
@@ -56,6 +59,7 @@ func run() error {
 	opt := experiments.Options{
 		MaxTAMs:   *maxTAMs,
 		NodeLimit: *nodeLimit,
+		Workers:   *workers,
 	}
 	if *widthsArg != "" {
 		for _, f := range strings.Split(*widthsArg, ",") {

@@ -8,16 +8,23 @@
 //	wtam -benchmark d695 -width 32
 //	wtam -soc chip.soc -width 64 -tams 3
 //	wtam -benchmark p93791 -width 64 -exhaustive -max-tams 3
+//	wtam -benchmark d695 -width 32 -strategy packing
+//	wtam -benchmark p21241 -width 64 -workers 8
 //
 // With -tams 0 (the default) the TAM count is optimized too (problem
 // P_NPAW); a fixed -tams solves P_PAW. -exhaustive switches from the
 // paper's heuristic flow to the exact enumerate-and-solve baseline.
+// -strategy packing replaces the partition flow with rectangle
+// bin-packing co-optimization: wires are re-divided between cores over
+// time instead of forming fixed test buses. -workers parallelizes
+// partition evaluation (0 = all CPUs, 1 = the paper's sequential order).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"soctam"
 )
@@ -39,6 +46,8 @@ func run() error {
 		exhaustive = flag.Bool("exhaustive", false, "use the exact enumerate-and-solve baseline of [8] instead of the heuristic")
 		useILP     = flag.Bool("ilp", false, "use the ILP engine for exact optimization instead of branch and bound")
 		nodeLimit  = flag.Int64("node-limit", 0, "node budget per exact solve (0 = default)")
+		strategy   = flag.String("strategy", "partition", "co-optimization backend: partition or packing")
+		workers    = flag.Int("workers", 0, "partition-evaluation goroutines (0 = all CPUs, 1 = paper's sequential order)")
 		verbose    = flag.Bool("v", false, "print per-core wrapper usage on the chosen architecture")
 		gantt      = flag.Bool("gantt", false, "print the test schedule as a Gantt chart with utilization")
 	)
@@ -51,9 +60,46 @@ func run() error {
 	opt := soctam.Options{
 		MaxTAMs:   *maxTAMs,
 		NodeLimit: *nodeLimit,
+		Workers:   *workers,
 	}
 	if *useILP {
 		opt.FinalSolver = soctam.SolverILP
+	}
+	switch *strategy {
+	case "partition":
+	case "packing":
+		// Packing has no fixed TAMs, no exact step, no partition
+		// enumeration: every flag tuning those is silently meaningless,
+		// so reject any the user explicitly set.
+		var unusable []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "tams", "exhaustive", "ilp", "gantt", "node-limit", "max-tams", "workers":
+				unusable = append(unusable, "-"+f.Name)
+			}
+		})
+		if len(unusable) > 0 {
+			return fmt.Errorf("-strategy packing does not use %s (no fixed TAMs, no exact step, no partition enumeration)",
+				strings.Join(unusable, ", "))
+		}
+		opt.Strategy = soctam.StrategyPacking
+		res, err := soctam.Solve(s, *width, opt)
+		if err != nil {
+			return err
+		}
+		return printPacking(s, res, *verbose)
+	default:
+		return fmt.Errorf("unknown strategy %q (have partition, packing)", *strategy)
+	}
+
+	if *exhaustive {
+		// The [8] baseline enumerates sequentially; reject an explicit
+		// -workers rather than silently ignoring it.
+		workersSet := false
+		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+		if workersSet {
+			return fmt.Errorf("-exhaustive does not use -workers (the [8] baseline solves every partition sequentially)")
+		}
 	}
 
 	var res soctam.Result
@@ -79,8 +125,14 @@ func run() error {
 	fmt.Printf("testing time:     %d cycles\n", res.Time)
 	fmt.Printf("heuristic time:   %d cycles (before final optimization)\n", res.HeuristicTime)
 	fmt.Printf("proven optimal:   %v (for the chosen partition)\n", res.AssignmentOptimal)
-	fmt.Printf("partitions:       %d enumerated, %d evaluated to completion, %d pruned\n",
-		res.Stats.Enumerated, res.Stats.Completed, res.Stats.Aborted)
+	statsNote := ""
+	if !*exhaustive && opt.ParallelEvaluation() {
+		// The completed/pruned split depends on parallel evaluation
+		// order; the chosen partition and times do not.
+		statsNote = " (split varies across runs; -workers 1 makes it deterministic)"
+	}
+	fmt.Printf("partitions:       %d enumerated, %d evaluated to completion, %d pruned%s\n",
+		res.Stats.Enumerated, res.Stats.Completed, res.Stats.Aborted, statsNote)
 	fmt.Printf("elapsed:          %s\n", res.Elapsed)
 
 	if *verbose {
@@ -91,6 +143,44 @@ func run() error {
 	if *gantt {
 		if err := printGantt(s, res); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// printPacking reports a rectangle bin-packing result: one row per
+// placed rectangle plus the bin-level summary.
+func printPacking(s *soctam.SOC, res soctam.Result, verbose bool) error {
+	sch := res.Packing
+	fmt.Printf("SOC:              %s\n", s)
+	fmt.Printf("strategy:         %s\n", res.Strategy)
+	fmt.Printf("total TAM width:  %d\n", res.TotalWidth)
+	fmt.Printf("testing time:     %d cycles\n", res.Time)
+	if sch.Bound > 0 {
+		fmt.Printf("packing bound:    %d cycles (makespan is %.1f%% above it)\n",
+			sch.Bound, 100*(float64(res.Time)/float64(sch.Bound)-1))
+	} else {
+		fmt.Printf("packing bound:    0 cycles\n")
+	}
+	fmt.Printf("wire-cycles:      %.1f%% busy\n", 100*sch.BusyFraction())
+	fmt.Printf("elapsed:          %s\n", res.Elapsed)
+	fmt.Println("\nrectangle schedule (wires × cycles, half-open ranges):")
+	for i := range sch.Rects {
+		r := &sch.Rects[i]
+		fmt.Printf("  core %-10s wires [%2d,%2d)  cycles [%8d,%-8d) (%2d × %d)\n",
+			s.Cores[r.Core].Name, r.Wire, r.Wire+r.Width, r.Start, r.End, r.Width, r.Duration())
+	}
+	if verbose {
+		fmt.Println("\nper-core wrapper designs:")
+		for i := range sch.Rects {
+			r := &sch.Rects[i]
+			c := &s.Cores[r.Core]
+			d, err := soctam.DesignWrapper(c, r.Width)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  core %-10s width %2d: uses %2d wrapper chains, scan-in %4d, scan-out %4d, %8d cycles\n",
+				c.Name, r.Width, d.UsedWidth(), d.ScanIn, d.ScanOut, d.Time)
 		}
 	}
 	return nil

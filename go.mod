@@ -1,0 +1,3 @@
+module soctam
+
+go 1.24

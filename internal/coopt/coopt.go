@@ -19,14 +19,42 @@ package coopt
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"soctam/internal/assign"
+	"soctam/internal/pack"
 	"soctam/internal/partition"
 	"soctam/internal/sched"
 	"soctam/internal/soc"
 	"soctam/internal/wrapper"
 )
+
+// Strategy selects the co-optimization backend used by Solve.
+type Strategy uint8
+
+// Backends.
+const (
+	// StrategyPartition is the paper's flow: TAM width partitioning with
+	// Partition_evaluate plus the exact final step (the default).
+	StrategyPartition Strategy = iota
+	// StrategyPacking is the rectangle bin-packing co-optimization of the
+	// follow-up TAM literature: cores become width×time rectangles placed
+	// into the W×T bin (package pack), so cores need not share fixed
+	// test buses at all.
+	StrategyPacking
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPartition:
+		return "partition"
+	case StrategyPacking:
+		return "packing"
+	}
+	return fmt.Sprintf("Strategy(%d)", uint8(s))
+}
 
 // Solver selects the exact engine for final optimization and for the
 // exhaustive baseline.
@@ -106,6 +134,16 @@ type Options struct {
 	Enumeration Enumeration
 	// PlainCoreAssign drops the Figure 1 tie-break rules (ablation).
 	PlainCoreAssign bool
+	// Workers is the number of goroutines scoring partitions. 0 uses
+	// runtime.GOMAXPROCS(0); 1 (or negative) forces the sequential path,
+	// which evaluates partitions in exactly the paper's order. The chosen
+	// partition and testing time are identical at any worker count; only
+	// the Completed/Aborted/Improved split of Stats depends on evaluation
+	// order and is therefore reproducible only with Workers = 1.
+	Workers int
+	// Strategy picks the Solve backend (partition flow or rectangle
+	// packing). The partition-specific entry points ignore it.
+	Strategy Strategy
 }
 
 func (o Options) maxTAMs() int {
@@ -114,6 +152,22 @@ func (o Options) maxTAMs() int {
 	}
 	return o.MaxTAMs
 }
+
+func (o Options) workers() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// ParallelEvaluation reports whether partition evaluation will run on
+// the worker pool (more than one resolved worker) rather than in the
+// paper's sequential order — the order-dependent Stats split is only
+// reproducible when this is false.
+func (o Options) ParallelEvaluation() bool { return o.workers() > 1 }
 
 // Stats counts partition-evaluation work, the quantities behind the
 // paper's Table 1.
@@ -141,6 +195,12 @@ func (s *Stats) add(t Stats) {
 type Result struct {
 	// TotalWidth is W, the number of TAM wires on the SOC.
 	TotalWidth int
+	// Strategy is the backend that produced the result.
+	Strategy Strategy
+	// Packing is the rectangle schedule when Strategy is StrategyPacking;
+	// nil for the partition flow. Partition/Assignment are empty then —
+	// a packed architecture has no fixed test buses to describe.
+	Packing *pack.Schedule
 	// Partition is the winning TAM width partition (non-decreasing).
 	Partition []int
 	// NumTAMs is len(Partition), the paper's B.
@@ -190,16 +250,17 @@ type evaluator struct {
 	tables [][]soc.Cycles
 	opt    Options
 
-	best     soc.Cycles // running best testing time; 0 = none yet
+	haveBest bool       // a completed evaluation has been recorded
+	best     soc.Cycles // running best testing time (valid when haveBest)
 	bestPart []int
 	stats    Stats
 
 	scratch assign.Instance
 }
 
-// coreAssign dispatches to the configured heuristic variant.
-func (e *evaluator) coreAssign(in *assign.Instance, bound soc.Cycles) (assign.Assignment, bool) {
-	if e.opt.PlainCoreAssign {
+// runCoreAssign dispatches to the configured heuristic variant.
+func runCoreAssign(opt Options, in *assign.Instance, bound soc.Cycles) (assign.Assignment, bool) {
+	if opt.PlainCoreAssign {
 		return assign.CoreAssignPlain(in, bound)
 	}
 	return assign.CoreAssign(in, bound)
@@ -228,42 +289,57 @@ func resizeInts(s []int, n int) []int {
 	return s[:n]
 }
 
-// evaluateOne scores a single width partition with Core_assign under the
-// running bound.
-func (e *evaluator) evaluateOne(parts []int) {
-	e.stats.Enumerated++
-	copy(e.scratch.Widths, parts)
-	for i, table := range e.tables {
-		row := e.scratch.Times[i]
+// scoreOne is the per-partition kernel shared by the sequential and
+// parallel paths: it refills scratch with the partition's testing-time
+// columns, runs the configured Core_assign variant under bound (0 =
+// none) and books the evaluation into stats. completed is false when
+// the lines 18–20 abort fired.
+func scoreOne(tables [][]soc.Cycles, scratch *assign.Instance, parts []int, bound soc.Cycles, opt Options, stats *Stats) (a assign.Assignment, completed bool) {
+	stats.Enumerated++
+	copy(scratch.Widths, parts)
+	for i, table := range tables {
+		row := scratch.Times[i]
 		for j, w := range parts {
 			row[j] = table[w-1]
 		}
 	}
+	a, completed = runCoreAssign(opt, scratch, bound)
+	if !completed {
+		stats.Aborted++
+		return a, false
+	}
+	stats.Completed++
+	return a, true
+}
+
+// evaluateOne scores a single width partition with Core_assign under the
+// running bound.
+func (e *evaluator) evaluateOne(parts []int) {
 	bound := e.best
 	if e.opt.NoEarlyAbort {
 		bound = 0
 	}
-	a, completed := e.coreAssign(&e.scratch, bound)
+	a, completed := scoreOne(e.tables, &e.scratch, parts, bound, e.opt, &e.stats)
 	if !completed {
-		e.stats.Aborted++
 		return
 	}
-	e.stats.Completed++
-	if e.best == 0 || a.Time < e.best {
+	// haveBest (not best == 0) distinguishes "no result yet" from a
+	// legitimate 0-cycle best, so the first attainer wins even on
+	// degenerate SOCs whose tests all take zero time.
+	if !e.haveBest || a.Time < e.best {
+		e.haveBest = true
 		e.best = a.Time
 		e.bestPart = partition.Canonical(parts)
 		e.stats.Improved++
 	}
 }
 
-// evaluateB enumerates all width partitions for a fixed TAM count with
-// the configured strategy and scores them, updating the running best.
-func (e *evaluator) evaluateB(width, numTAMs int) error {
-	if numTAMs < 1 || width < numTAMs {
-		return fmt.Errorf("coopt: cannot split width %d into %d TAMs", width, numTAMs)
-	}
-	e.prepareScratch(numTAMs)
-	switch e.opt.Enumeration {
+// enumeratePartitions drives the configured partition generator for one
+// TAM count, calling yield with a reused buffer for every enumerated
+// partition. It is the single dispatch shared by the sequential and
+// parallel paths, so both always enumerate the same partition sets.
+func enumeratePartitions(width, numTAMs int, strategy Enumeration, yield func(parts []int)) error {
+	switch strategy {
 	case EnumOdometer:
 		o, err := partition.NewOdometer(width, numTAMs)
 		if err != nil {
@@ -274,7 +350,7 @@ func (e *evaluator) evaluateB(width, numTAMs int) error {
 			if !ok {
 				return nil
 			}
-			e.evaluateOne(parts)
+			yield(parts)
 		}
 	case EnumNaive:
 		o, err := partition.NewNaiveOdometer(width, numTAMs)
@@ -286,42 +362,59 @@ func (e *evaluator) evaluateB(width, numTAMs int) error {
 			if !ok {
 				return nil
 			}
-			e.evaluateOne(parts)
+			yield(parts)
 		}
 	default:
 		partition.Enumerate(width, numTAMs, func(parts []int) bool {
-			e.evaluateOne(parts)
+			yield(parts)
 			return true
 		})
 		return nil
 	}
 }
 
+// evaluateB enumerates all width partitions for a fixed TAM count with
+// the configured strategy and scores them, updating the running best.
+func (e *evaluator) evaluateB(width, numTAMs int) error {
+	if numTAMs < 1 || width < numTAMs {
+		return fmt.Errorf("coopt: cannot split width %d into %d TAMs", width, numTAMs)
+	}
+	e.prepareScratch(numTAMs)
+	return enumeratePartitions(width, numTAMs, e.opt.Enumeration, e.evaluateOne)
+}
+
 // finish runs the heuristic once more on the winning partition (for the
 // assignment witness) and then the exact final step, assembling Result.
 func (e *evaluator) finish(width int, started time.Time) (Result, error) {
-	if e.bestPart == nil {
+	return finishResult(e.tables, e.opt, e.best, e.bestPart, e.stats, width, started)
+}
+
+// finishResult replays the heuristic on the winning partition (for the
+// assignment witness) and runs the exact final step, assembling Result.
+// It is shared by the sequential and parallel evaluation paths.
+func finishResult(tables [][]soc.Cycles, opt Options, best soc.Cycles, bestPart []int, stats Stats, width int, started time.Time) (Result, error) {
+	if bestPart == nil {
 		return Result{}, fmt.Errorf("coopt: no feasible partition found for width %d", width)
 	}
-	inst, err := assign.FromTimeTable(e.tables, e.bestPart)
+	inst, err := assign.FromTimeTable(tables, bestPart)
 	if err != nil {
 		return Result{}, err
 	}
-	heur, ok := e.coreAssign(inst, 0)
-	if !ok || heur.Time != e.best {
-		return Result{}, fmt.Errorf("coopt: heuristic replay mismatch on %v: got %d, recorded %d", e.bestPart, heur.Time, e.best)
+	heur, ok := runCoreAssign(opt, inst, 0)
+	if !ok || heur.Time != best {
+		return Result{}, fmt.Errorf("coopt: heuristic replay mismatch on %v: got %d, recorded %d", bestPart, heur.Time, best)
 	}
 	res := Result{
 		TotalWidth:    width,
-		Partition:     e.bestPart,
-		NumTAMs:       len(e.bestPart),
-		HeuristicTime: e.best,
+		Partition:     bestPart,
+		NumTAMs:       len(bestPart),
+		HeuristicTime: best,
 		Assignment:    heur,
 		Time:          heur.Time,
-		Stats:         e.stats,
+		Stats:         stats,
 	}
-	if !e.opt.SkipFinal {
-		final, optimal, err := solveExact(inst, e.opt)
+	if !opt.SkipFinal {
+		final, optimal, err := solveExact(inst, opt)
 		if err != nil {
 			return Result{}, err
 		}
@@ -346,6 +439,16 @@ func solveExact(in *assign.Instance, opt Options) (assign.Assignment, bool, erro
 	return assign.SolveExact(in, assign.ExactOptions{NodeLimit: opt.NodeLimit})
 }
 
+// Solve is the unified co-optimization entry point: it dispatches on
+// Options.Strategy between the paper's partition flow (CoOptimize) and
+// the rectangle bin-packing backend (package pack).
+func Solve(s *soc.SOC, width int, opt Options) (Result, error) {
+	if opt.Strategy == StrategyPacking {
+		return solvePacking(s, width, opt)
+	}
+	return CoOptimize(s, width, opt)
+}
+
 // PartitionEvaluate solves P_PAW heuristically for a fixed TAM count:
 // Figure 3 restricted to one B, plus the exact final step (unless
 // disabled). The returned Stats are the basis of the paper's Table 1.
@@ -354,6 +457,13 @@ func PartitionEvaluate(s *soc.SOC, width, numTAMs int, opt Options) (Result, err
 	tables, err := TimeTables(s, width)
 	if err != nil {
 		return Result{}, err
+	}
+	if opt.workers() > 1 {
+		p := newParEvaluator(tables, opt)
+		if err := p.evaluateB(width, numTAMs); err != nil {
+			return Result{}, err
+		}
+		return p.finish(width, started)
 	}
 	e := &evaluator{tables: tables, opt: opt}
 	if err := e.evaluateB(width, numTAMs); err != nil {
@@ -371,11 +481,20 @@ func CoOptimize(s *soc.SOC, width int, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	e := &evaluator{tables: tables, opt: opt}
 	maxB := opt.maxTAMs()
 	if maxB > width {
 		maxB = width
 	}
+	if opt.workers() > 1 {
+		p := newParEvaluator(tables, opt)
+		for b := 1; b <= maxB; b++ {
+			if err := p.evaluateB(width, b); err != nil {
+				return Result{}, err
+			}
+		}
+		return p.finish(width, started)
+	}
+	e := &evaluator{tables: tables, opt: opt}
 	for b := 1; b <= maxB; b++ {
 		if err := e.evaluateB(width, b); err != nil {
 			return Result{}, err

@@ -1,0 +1,29 @@
+package coopt
+
+import (
+	"time"
+
+	"soctam/internal/pack"
+	"soctam/internal/soc"
+)
+
+// solvePacking runs the rectangle bin-packing backend (package pack) and
+// wraps its schedule as a Result. Partition/Assignment stay empty: a
+// packed architecture re-divides the W wires between cores over time
+// instead of fixing test buses, so there is no width partition to
+// report — the schedule itself (Result.Packing) is the architecture.
+func solvePacking(s *soc.SOC, width int, opt Options) (Result, error) {
+	started := time.Now()
+	sch, err := pack.Pack(s, width, pack.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		TotalWidth:    width,
+		Strategy:      StrategyPacking,
+		Packing:       sch,
+		HeuristicTime: sch.Makespan,
+		Time:          sch.Makespan,
+		Elapsed:       time.Since(started),
+	}, nil
+}

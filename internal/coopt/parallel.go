@@ -1,0 +1,177 @@
+package coopt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soctam/internal/assign"
+	"soctam/internal/partition"
+	"soctam/internal/soc"
+)
+
+// batchSize is how many partitions a worker claims at once. Batching
+// amortizes channel traffic; small runs fit in one batch and behave like
+// the sequential path.
+const batchSize = 256
+
+// batch is a block of enumerated partitions stored back to back in one
+// flat slab (partition i is flat[i*width : (i+1)*width]). seq0 is the
+// global enumeration sequence number of the first partition; sequence
+// numbers totally order partitions across TAM counts.
+type batch struct {
+	seq0  int64
+	width int // parts per partition (the TAM count B)
+	flat  []int
+}
+
+// count returns the number of partitions in the batch.
+func (b *batch) count() int { return len(b.flat) / b.width }
+
+// parts returns the i-th partition in the batch.
+func (b *batch) parts(i int) []int { return b.flat[i*b.width : (i+1)*b.width] }
+
+// parEvaluator scores partitions on a pool of workers. The running best
+// testing time is shared through an atomic so the paper's lines 18–20
+// abort keeps pruning across workers; the winning partition is tracked
+// under a mutex with a sequence-number tie-break so the outcome is the
+// same partition the sequential path would pick, at any worker count.
+//
+// Determinism argument: Core_assign is deterministic per partition, and a
+// partition only ever aborts when its final time could not beat the bound
+// it was raced against — so the set {(value, seq)} of potential winners
+// is evaluation-order independent, and taking the lexicographic minimum
+// reproduces the sequential "first strict improvement" winner exactly.
+// Only the Completed/Aborted/Improved split of Stats depends on timing.
+type parEvaluator struct {
+	tables [][]soc.Cycles
+	opt    Options
+
+	best atomic.Int64 // running best testing time in cycles; 0 = none yet
+	// (a genuine 0-cycle best leaves the atomic at 0, which only costs
+	// pruning on degenerate SOCs; haveBest below carries correctness)
+
+	mu       sync.Mutex
+	haveBest bool
+	bestPart []int
+	bestSeq  int64
+	stats    Stats
+
+	seq int64 // next sequence number (touched only by the generator)
+}
+
+func newParEvaluator(tables [][]soc.Cycles, opt Options) *parEvaluator {
+	return &parEvaluator{tables: tables, opt: opt}
+}
+
+// evaluateB enumerates all width partitions for a fixed TAM count and
+// scores them on the worker pool. Successive calls (the B sweep of
+// CoOptimize) share the running bound and the sequence order.
+func (p *parEvaluator) evaluateB(width, numTAMs int) error {
+	if numTAMs < 1 || width < numTAMs {
+		return fmt.Errorf("coopt: cannot split width %d into %d TAMs", width, numTAMs)
+	}
+	workers := p.opt.workers()
+	jobs := make(chan batch, 2*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.worker(numTAMs, jobs)
+		}()
+	}
+	err := p.generate(width, numTAMs, jobs)
+	close(jobs)
+	wg.Wait()
+	return err
+}
+
+// generate enumerates partitions with the configured strategy, copies
+// them out of the enumerator's reused buffer into flat slabs, and feeds
+// them to the pool in batches.
+func (p *parEvaluator) generate(width, numTAMs int, jobs chan<- batch) error {
+	cur := batch{seq0: p.seq, width: numTAMs, flat: make([]int, 0, batchSize*numTAMs)}
+	emit := func(parts []int) {
+		cur.flat = append(cur.flat, parts...)
+		p.seq++
+		if len(cur.flat) == cap(cur.flat) {
+			jobs <- cur
+			cur = batch{seq0: p.seq, width: numTAMs, flat: make([]int, 0, batchSize*numTAMs)}
+		}
+	}
+	if err := enumeratePartitions(width, numTAMs, p.opt.Enumeration, emit); err != nil {
+		return err
+	}
+	if len(cur.flat) > 0 {
+		jobs <- cur
+	}
+	return nil
+}
+
+// worker drains batches, scoring each partition with Core_assign against
+// the shared bound. Each worker owns its scratch instance; per-worker
+// stats merge once at exit.
+func (p *parEvaluator) worker(numTAMs int, jobs <-chan batch) {
+	n := len(p.tables)
+	scratch := assign.Instance{
+		Widths: make([]int, numTAMs),
+		Times:  make([][]soc.Cycles, n),
+	}
+	for i := range scratch.Times {
+		scratch.Times[i] = make([]soc.Cycles, numTAMs)
+	}
+	var local Stats
+	for b := range jobs {
+		for k := 0; k < b.count(); k++ {
+			parts := b.parts(k)
+			// Abort only strictly above the bound (bound+1): partitions
+			// tying the running best must complete so the sequence-number
+			// tie-break can pick the deterministic winner among equals.
+			var bound soc.Cycles
+			if !p.opt.NoEarlyAbort {
+				if cur := p.best.Load(); cur > 0 {
+					bound = soc.Cycles(cur) + 1
+				}
+			}
+			a, completed := scoreOne(p.tables, &scratch, parts, bound, p.opt, &local)
+			if !completed {
+				continue
+			}
+			p.record(a.Time, parts, b.seq0+int64(k), &local)
+		}
+	}
+	p.mu.Lock()
+	p.stats.add(local)
+	p.mu.Unlock()
+}
+
+// record folds one completed evaluation into the shared best: better
+// time wins, equal time goes to the earlier enumeration sequence.
+func (p *parEvaluator) record(t soc.Cycles, parts []int, seq int64, local *Stats) {
+	if cur := p.best.Load(); cur != 0 && soc.Cycles(cur) < t {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// haveBest (not the 0 sentinel) marks a recorded best, so a genuine
+	// 0-cycle best still reaches the sequence tie-break and the winner
+	// stays deterministic on degenerate all-zero-time SOCs.
+	switch cur := soc.Cycles(p.best.Load()); {
+	case !p.haveBest || t < cur:
+		p.haveBest = true
+		p.best.Store(int64(t))
+		p.bestPart = partition.Canonical(parts)
+		p.bestSeq = seq
+		local.Improved++
+	case t == cur && seq < p.bestSeq:
+		p.bestPart = partition.Canonical(parts)
+		p.bestSeq = seq
+	}
+}
+
+// finish assembles the Result exactly like the sequential path.
+func (p *parEvaluator) finish(width int, started time.Time) (Result, error) {
+	return finishResult(p.tables, p.opt, soc.Cycles(p.best.Load()), p.bestPart, p.stats, width, started)
+}

@@ -3,7 +3,8 @@
 // partition-pruning study, the P_PAW comparisons of the exhaustive [8]
 // baseline against the new co-optimization method (Tables 2, 5-6, 9-12,
 // 15-18), the P_NPAW sweeps (Tables 3, 7, 13, 19) and the core-data range
-// tables (4, 8, 14).
+// tables (4, 8, 14) — plus the "packing" comparison of the rectangle
+// bin-packing backend against the partition flow (no paper counterpart).
 //
 // Each experiment is a named Generator in the registry; cmd/tables runs
 // them from the command line and bench_test.go wraps each in a benchmark.
@@ -34,6 +35,11 @@ type Options struct {
 	NodeLimit int64
 	// FinalSolver picks the exact engine for final optimization.
 	FinalSolver coopt.Solver
+	// Workers is the partition-evaluation goroutine count passed through
+	// to coopt (0 = all CPUs, 1 = the paper's sequential order). Table 1
+	// always runs sequentially — its pruning statistics depend on the
+	// paper's evaluation order.
+	Workers int
 }
 
 func (o Options) widths() []int {
@@ -55,6 +61,7 @@ func (o Options) cooptOptions() coopt.Options {
 		MaxTAMs:     o.maxTAMs(),
 		FinalSolver: o.FinalSolver,
 		NodeLimit:   o.NodeLimit,
+		Workers:     o.Workers,
 	}
 }
 
@@ -79,6 +86,7 @@ var registry = map[string]Generator{
 	"table15-16": Table15and16,
 	"table17-18": Table17and18,
 	"table19":    Table19,
+	"packing":    PackingVsPartition,
 }
 
 // Names returns the registered experiment names in order.
@@ -127,7 +135,7 @@ func orderedNames() []string {
 	return []string{
 		"figure2", "table1", "table2", "table3", "table4", "table5-6",
 		"table7", "table8", "table9-10", "table11-12", "table13",
-		"table14", "table15-16", "table17-18", "table19",
+		"table14", "table15-16", "table17-18", "table19", "packing",
 	}
 }
 

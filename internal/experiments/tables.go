@@ -66,11 +66,13 @@ func Table1(opt Options) ([]*report.Table, error) {
 				row = append(row, "-", "-", "-")
 				continue
 			}
-			// The paper-faithful Figure 3 odometer, so the pruning
-			// statistics are comparable with the published Table 1.
+			// The paper-faithful Figure 3 odometer on a single worker,
+			// so the pruning statistics (which depend on evaluation
+			// order) are comparable with the published Table 1.
 			res, err := coopt.PartitionEvaluate(s, w, b, coopt.Options{
 				SkipFinal:   true,
 				Enumeration: coopt.EnumOdometer,
+				Workers:     1,
 			})
 			if err != nil {
 				return nil, err

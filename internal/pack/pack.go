@@ -1,0 +1,379 @@
+// Package pack implements rectangle bin-packing wrapper/TAM
+// co-optimization, the alternative architecture family of the follow-up
+// TAM literature (Iyengar et al., and the arXiv studies "Efficient
+// Wrapper/TAM Co-Optimization for SOC Using Rectangle Packing" and
+// "Wrapper/TAM Co-Optimization and Constrained Test Scheduling for SOCs
+// Using Rectangle Bin Packing").
+//
+// Each core's test is modelled as a rectangle: its height is a TAM width
+// w (wires used simultaneously) and its length the testing time T_i(w)
+// from Design_wrapper. The SOC's test is a placement of one rectangle
+// per core into the W×T bin — W total TAM wires by T testing cycles —
+// with no two rectangles overlapping. Unlike the partition flow, cores
+// need not share fixed test buses: a core may straddle any contiguous
+// band of wires for just the duration of its own test, so wires are
+// re-divided between cores over time.
+//
+// The packer follows the papers' scheme: pick a testing-time budget T,
+// derive each core's preferred width (the smallest Pareto width meeting
+// the budget — the diagonal/aspect rule: rectangles are shaped to the
+// bin), place rectangles greedily earliest-first, and sweep the budget
+// over multiples of the packing lower bound, keeping the best schedule.
+package pack
+
+import (
+	"fmt"
+	"sort"
+
+	"soctam/internal/soc"
+	"soctam/internal/wrapper"
+)
+
+// Rect is one core's test placed in the bin: it occupies wires
+// [Wire, Wire+Width) for cycles [Start, End).
+type Rect struct {
+	// Core is the 0-based core index in the SOC.
+	Core int
+	// Wire is the first TAM wire of the band the core's wrapper connects
+	// to (0-based).
+	Wire int
+	// Width is the number of wires used — the wrapper's TAM width.
+	Width int
+	// Start and End delimit the core's test in clock cycles.
+	Start, End soc.Cycles
+}
+
+// Duration returns the rectangle length in cycles.
+func (r *Rect) Duration() soc.Cycles { return r.End - r.Start }
+
+// Schedule is a complete rectangle packing of an SOC's tests.
+type Schedule struct {
+	// TotalWidth is W, the bin height in TAM wires.
+	TotalWidth int
+	// Rects holds one placed rectangle per core, ordered by start time
+	// then first wire.
+	Rects []Rect
+	// Makespan is the SOC testing time: the latest rectangle end.
+	Makespan soc.Cycles
+	// Bound is the packing lower bound for this SOC and width (bin
+	// area vs longest single test); Makespan >= Bound always.
+	Bound soc.Cycles
+}
+
+// BusyFraction returns the packed area over the bin area W×makespan —
+// the wire-cycle utilization of the schedule.
+func (s *Schedule) BusyFraction() float64 {
+	if s.TotalWidth == 0 || s.Makespan == 0 {
+		return 0
+	}
+	var busy int64
+	for i := range s.Rects {
+		r := &s.Rects[i]
+		busy += int64(r.Width) * int64(r.Duration())
+	}
+	return float64(busy) / (float64(s.TotalWidth) * float64(s.Makespan))
+}
+
+// Validate checks that the schedule is a legal packing for an SOC with
+// numCores cores: every core placed exactly once, every rectangle within
+// the bin, no two rectangles overlapping, and Makespan consistent.
+func (s *Schedule) Validate(numCores int) error {
+	if len(s.Rects) != numCores {
+		return fmt.Errorf("pack: %d rectangles for %d cores", len(s.Rects), numCores)
+	}
+	seen := make([]bool, numCores)
+	var span soc.Cycles
+	for i := range s.Rects {
+		r := &s.Rects[i]
+		if r.Core < 0 || r.Core >= numCores {
+			return fmt.Errorf("pack: rectangle %d names core %d of %d", i, r.Core, numCores)
+		}
+		if seen[r.Core] {
+			return fmt.Errorf("pack: core %d placed twice", r.Core+1)
+		}
+		seen[r.Core] = true
+		if r.Width < 1 || r.Wire < 0 || r.Wire+r.Width > s.TotalWidth {
+			return fmt.Errorf("pack: core %d occupies wires [%d,%d) outside [0,%d)",
+				r.Core+1, r.Wire, r.Wire+r.Width, s.TotalWidth)
+		}
+		// Zero-duration rectangles are legal: a core with no patterns
+		// tests in 0 cycles yet must still be placed exactly once.
+		if r.Start < 0 || r.End < r.Start {
+			return fmt.Errorf("pack: core %d has negative interval [%d,%d)", r.Core+1, r.Start, r.End)
+		}
+		if r.End > span {
+			span = r.End
+		}
+	}
+	if span != s.Makespan {
+		return fmt.Errorf("pack: makespan %d, rectangles end at %d", s.Makespan, span)
+	}
+	for i := range s.Rects {
+		for j := i + 1; j < len(s.Rects); j++ {
+			a, b := &s.Rects[i], &s.Rects[j]
+			if a.Wire < b.Wire+b.Width && b.Wire < a.Wire+a.Width &&
+				a.Start < b.End && b.Start < a.End {
+				return fmt.Errorf("pack: cores %d and %d overlap", a.Core+1, b.Core+1)
+			}
+		}
+	}
+	return nil
+}
+
+// Options tunes the packer. The zero value uses the built-in budget
+// sweep.
+type Options struct {
+	// Budgets are the testing-time budgets tried, as multiples of the
+	// packing lower bound; nil uses the built-in sweep. Each budget
+	// shapes the rectangles (preferred widths); the best resulting
+	// schedule wins regardless of which budget produced it.
+	Budgets []float64
+}
+
+// builtinBudgets spans tight (wide rectangles, little slack) to relaxed
+// (narrow rectangles, more placement freedom).
+var builtinBudgets = []float64{1.0, 1.02, 1.05, 1.08, 1.12, 1.17, 1.25, 1.35, 1.5, 1.75, 2.0}
+
+func (o Options) budgets() []float64 {
+	if len(o.Budgets) > 0 {
+		return o.Budgets
+	}
+	return builtinBudgets
+}
+
+// LowerBound returns the packing lower bound on the SOC testing time for
+// a total width W: the larger of the area bound — each core claims at
+// least its minimal rectangle area min_w w·T_i(w), and the bin offers
+// W wire-cycles per cycle — and the longest unavoidable single test
+// max_i T_i(W).
+func LowerBound(s *soc.SOC, totalWidth int) (soc.Cycles, error) {
+	cores, err := coreShapes(s, totalWidth)
+	if err != nil {
+		return 0, err
+	}
+	return lowerBound(cores, totalWidth), nil
+}
+
+// coreShape is the per-core packing input: the Pareto widths worth
+// offering and the testing time at each.
+type coreShape struct {
+	core    int
+	widths  []int        // Pareto widths, increasing
+	times   []soc.Cycles // times[k] = T(widths[k]), decreasing
+	minArea int64        // min over k of widths[k]·times[k]
+}
+
+// coreShapes computes every core's packing input. Only Pareto widths
+// are offered: at any other width the wrapper uses fewer wires than the
+// rectangle would claim, wasting bin area for no time gain.
+func coreShapes(s *soc.SOC, totalWidth int) ([]coreShape, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if totalWidth < 1 {
+		return nil, fmt.Errorf("pack: total TAM width %d < 1", totalWidth)
+	}
+	shapes := make([]coreShape, len(s.Cores))
+	for i := range s.Cores {
+		widths, err := wrapper.ParetoWidths(&s.Cores[i], totalWidth)
+		if err != nil {
+			return nil, fmt.Errorf("pack: core %d: %w", i+1, err)
+		}
+		table, err := wrapper.TimeTable(&s.Cores[i], totalWidth)
+		if err != nil {
+			return nil, fmt.Errorf("pack: core %d: %w", i+1, err)
+		}
+		sh := coreShape{core: i, widths: widths, minArea: int64(1) << 62}
+		for _, w := range widths {
+			t := table[w-1]
+			sh.times = append(sh.times, t)
+			if area := int64(w) * int64(t); area < sh.minArea {
+				sh.minArea = area
+			}
+		}
+		shapes[i] = sh
+	}
+	return shapes, nil
+}
+
+func lowerBound(shapes []coreShape, totalWidth int) soc.Cycles {
+	var area int64
+	var longest soc.Cycles
+	for i := range shapes {
+		sh := &shapes[i]
+		area += sh.minArea
+		if t := sh.times[len(sh.times)-1]; t > longest {
+			longest = t
+		}
+	}
+	lb := soc.Cycles((area + int64(totalWidth) - 1) / int64(totalWidth))
+	if longest > lb {
+		lb = longest
+	}
+	return lb
+}
+
+// preferredIndex returns the index of the smallest Pareto width whose
+// testing time meets the budget, or the widest point when none does —
+// the papers' aspect rule shaping rectangles to the bin diagonal.
+func (sh *coreShape) preferredIndex(budget soc.Cycles) int {
+	for k, t := range sh.times {
+		if t <= budget {
+			return k
+		}
+	}
+	return len(sh.widths) - 1
+}
+
+// Pack co-optimizes the SOC's wrappers and TAM wiring by rectangle
+// packing under a total width W, minimizing the SOC testing time. The
+// schedule is always valid; quality comes from the budget sweep.
+func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
+	shapes, err := coreShapes(s, totalWidth)
+	if err != nil {
+		return nil, err
+	}
+	lb := lowerBound(shapes, totalWidth)
+	var best *Schedule
+	try := func(budget soc.Cycles) bool {
+		if budget < lb {
+			budget = lb
+		}
+		improved := false
+		for _, ord := range []order{byWidth, byTime, byArea} {
+			sch := packOnce(shapes, totalWidth, budget, ord)
+			if best == nil || sch.Makespan < best.Makespan {
+				best = sch
+				improved = true
+			}
+		}
+		return improved
+	}
+	for _, mult := range opt.budgets() {
+		try(soc.Cycles(float64(lb) * mult))
+	}
+	// Budget refinement: re-shape the rectangles against the best
+	// achieved makespan — the papers' iterative T adjustment. Each round
+	// aims below the incumbent until no target improves on it.
+	for iter := 0; iter < 32; iter++ {
+		improved := false
+		for _, f := range []float64{0.80, 0.86, 0.91, 0.95, 0.98} {
+			if try(soc.Cycles(float64(best.Makespan) * f)) {
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	sort.Slice(best.Rects, func(i, j int) bool {
+		if best.Rects[i].Start != best.Rects[j].Start {
+			return best.Rects[i].Start < best.Rects[j].Start
+		}
+		return best.Rects[i].Wire < best.Rects[j].Wire
+	})
+	best.Bound = lb
+	return best, nil
+}
+
+// order selects the placement order of the budget-shaped rectangles.
+type order uint8
+
+const (
+	// byWidth places the widest preferred rectangles first (classic
+	// decreasing-width strip packing).
+	byWidth order = iota
+	// byTime places the longest tests first.
+	byTime
+	// byArea places the largest minimal rectangle areas first.
+	byArea
+)
+
+// packOnce shapes every rectangle to one budget and places them greedily
+// with a skyline of per-wire free times, by budgeted best fit: every
+// Pareto shape at every position is considered, and the narrowest shape
+// that still finishes within the budget wins (earliest start, then least
+// idle area under the rectangle, on ties) — a core that must start late
+// compensates by going wider, which is the point of packing. When no
+// shape meets the budget the earliest finish over all shapes is taken.
+func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order) *Schedule {
+	seq := make([]int, len(shapes))
+	for i := range seq {
+		seq[i] = i
+	}
+	sort.SliceStable(seq, func(a, b int) bool {
+		sa, sb := &shapes[seq[a]], &shapes[seq[b]]
+		ka, kb := sa.preferredIndex(budget), sb.preferredIndex(budget)
+		switch ord {
+		case byTime:
+			// Longest test at preferred width first, wider first on ties.
+			if sa.times[ka] != sb.times[kb] {
+				return sa.times[ka] > sb.times[kb]
+			}
+			return sa.widths[ka] > sb.widths[kb]
+		case byArea:
+			if sa.minArea != sb.minArea {
+				return sa.minArea > sb.minArea
+			}
+			return sa.times[ka] > sb.times[kb]
+		}
+		// Widest preferred rectangle first, longer first on ties.
+		if sa.widths[ka] != sb.widths[kb] {
+			return sa.widths[ka] > sb.widths[kb]
+		}
+		return sa.times[ka] > sb.times[kb]
+	})
+
+	avail := make([]soc.Cycles, totalWidth)
+	sch := &Schedule{TotalWidth: totalWidth}
+	for _, idx := range seq {
+		sh := &shapes[idx]
+		var fit Rect // narrowest in-budget placement
+		fitWaste := int64(-1)
+		var fallback Rect // earliest finish over all placements
+		fallbackWaste := int64(-1)
+		for c := 0; c < len(sh.widths); c++ {
+			w, t := sh.widths[c], sh.times[c]
+			if fitWaste >= 0 && w > fit.Width {
+				break // a narrower shape already meets the budget
+			}
+			for at := 0; at+w <= totalWidth; at++ {
+				var start soc.Cycles
+				for x := at; x < at+w; x++ {
+					if avail[x] > start {
+						start = avail[x]
+					}
+				}
+				var waste int64
+				for x := at; x < at+w; x++ {
+					waste += int64(start - avail[x])
+				}
+				end := start + t
+				if end <= budget {
+					if fitWaste < 0 || start < fit.Start ||
+						(start == fit.Start && waste < fitWaste) {
+						fit = Rect{Core: sh.core, Wire: at, Width: w, Start: start, End: end}
+						fitWaste = waste
+					}
+				}
+				if fallbackWaste < 0 || end < fallback.End ||
+					(end == fallback.End && waste < fallbackWaste) {
+					fallback = Rect{Core: sh.core, Wire: at, Width: w, Start: start, End: end}
+					fallbackWaste = waste
+				}
+			}
+		}
+		bestRect := fit
+		if fitWaste < 0 {
+			bestRect = fallback
+		}
+		sch.Rects = append(sch.Rects, bestRect)
+		for x := bestRect.Wire; x < bestRect.Wire+bestRect.Width; x++ {
+			avail[x] = bestRect.End
+		}
+		if bestRect.End > sch.Makespan {
+			sch.Makespan = bestRect.End
+		}
+	}
+	return sch
+}

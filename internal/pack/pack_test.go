@@ -1,0 +1,204 @@
+package pack_test
+
+import (
+	"reflect"
+	"testing"
+
+	"soctam/internal/coopt"
+	"soctam/internal/pack"
+	"soctam/internal/soc"
+	"soctam/internal/socdata"
+)
+
+// miniSOC mirrors the coopt test SOC: scan-heavy, I/O-heavy, pattern-
+// heavy and balanced cores with genuinely different preferred widths.
+func miniSOC() *soc.SOC {
+	return &soc.SOC{Name: "mini", Cores: []soc.Core{
+		{Name: "scan", Inputs: 20, Outputs: 10, Patterns: 60, ScanChains: []int{40, 40, 30, 30}},
+		{Name: "wide", Inputs: 120, Outputs: 90, Patterns: 25},
+		{Name: "mem", Inputs: 10, Outputs: 10, Patterns: 500},
+		{Name: "mix", Inputs: 30, Outputs: 30, Patterns: 40, ScanChains: []int{25, 25}},
+		{Name: "tiny", Inputs: 5, Outputs: 3, Patterns: 15, ScanChains: []int{12}},
+		{Name: "bulk", Inputs: 60, Outputs: 60, Patterns: 80, ScanChains: []int{50, 50, 50}},
+	}}
+}
+
+// TestPackValid checks placement validity on both SOCs across widths:
+// every core placed once, inside the bin, no overlaps, and the makespan
+// never below the packing lower bound.
+func TestPackValid(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		s      *soc.SOC
+		widths []int
+	}{
+		{"mini", miniSOC(), []int{1, 2, 3, 8, 16, 24}},
+		{"d695", socdata.D695(), []int{16, 32, 48, 64}},
+	} {
+		for _, w := range tc.widths {
+			sch, err := pack.Pack(tc.s, w, pack.Options{})
+			if err != nil {
+				t.Fatalf("%s W=%d: %v", tc.name, w, err)
+			}
+			if err := sch.Validate(len(tc.s.Cores)); err != nil {
+				t.Errorf("%s W=%d: invalid schedule: %v", tc.name, w, err)
+			}
+			lb, err := pack.LowerBound(tc.s, w)
+			if err != nil {
+				t.Fatalf("%s W=%d: LowerBound: %v", tc.name, w, err)
+			}
+			if sch.Bound != lb {
+				t.Errorf("%s W=%d: schedule bound %d, LowerBound %d", tc.name, w, sch.Bound, lb)
+			}
+			if sch.Makespan < lb {
+				t.Errorf("%s W=%d: makespan %d below lower bound %d", tc.name, w, sch.Makespan, lb)
+			}
+			if f := sch.BusyFraction(); f <= 0 || f > 1 {
+				t.Errorf("%s W=%d: busy fraction %f outside (0,1]", tc.name, w, f)
+			}
+		}
+	}
+}
+
+// TestPackWithinPartitionMarginD695 is the acceptance check: on d695 the
+// packing schedule stays within 15% of the partition heuristic's testing
+// time at every paper width.
+func TestPackWithinPartitionMarginD695(t *testing.T) {
+	s := socdata.D695()
+	for _, w := range []int{16, 24, 32, 40, 48, 56, 64} {
+		part, err := coopt.CoOptimize(s, w, coopt.Options{Workers: 1, SkipFinal: true})
+		if err != nil {
+			t.Fatalf("CoOptimize W=%d: %v", w, err)
+		}
+		sch, err := pack.Pack(s, w, pack.Options{})
+		if err != nil {
+			t.Fatalf("Pack W=%d: %v", w, err)
+		}
+		if float64(sch.Makespan) > 1.15*float64(part.HeuristicTime) {
+			t.Errorf("W=%d: packing %d more than 15%% above partition heuristic %d",
+				w, sch.Makespan, part.HeuristicTime)
+		}
+	}
+}
+
+// TestPackDeterministic pins that the packer has no hidden randomness.
+func TestPackDeterministic(t *testing.T) {
+	s := socdata.D695()
+	a, err := pack.Pack(s, 32, pack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pack.Pack(s, 32, pack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Pack is not deterministic")
+	}
+}
+
+// TestPackWiderNeverMuchWorse checks the monotone trend: doubling the
+// bin height may not double the makespan back.
+func TestPackWiderNeverWorse(t *testing.T) {
+	s := miniSOC()
+	narrow, err := pack.Pack(s, 8, pack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := pack.Pack(s, 16, pack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Makespan > narrow.Makespan {
+		t.Errorf("W=16 makespan %d worse than W=8 %d", wide.Makespan, narrow.Makespan)
+	}
+}
+
+// TestPackBudgetsOption pins that a caller-supplied budget sweep is
+// honored and still yields a valid schedule.
+func TestPackBudgetsOption(t *testing.T) {
+	s := miniSOC()
+	sch, err := pack.Pack(s, 12, pack.Options{Budgets: []float64{1.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(len(s.Cores)); err != nil {
+		t.Errorf("single-budget schedule invalid: %v", err)
+	}
+}
+
+// TestPackZeroTimeCore pins the zero-duration edge: a pattern-free core
+// tests in 0 cycles, yet the schedule must place it and stay valid.
+func TestPackZeroTimeCore(t *testing.T) {
+	s := &soc.SOC{Name: "zero", Cores: []soc.Core{
+		{Name: "real", Inputs: 10, Outputs: 10, Patterns: 50, ScanChains: []int{20}},
+		{Name: "idle", Inputs: 2, Outputs: 2, Patterns: 0},
+	}}
+	sch, err := pack.Pack(s, 8, pack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(len(s.Cores)); err != nil {
+		t.Errorf("schedule with zero-time core invalid: %v", err)
+	}
+}
+
+// TestPackErrors rejects degenerate inputs.
+func TestPackErrors(t *testing.T) {
+	if _, err := pack.Pack(miniSOC(), 0, pack.Options{}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := pack.Pack(&soc.SOC{}, 8, pack.Options{}); err == nil {
+		t.Error("empty SOC accepted")
+	}
+	if _, err := pack.LowerBound(miniSOC(), 0); err == nil {
+		t.Error("LowerBound accepted zero width")
+	}
+	if _, err := pack.LowerBound(&soc.SOC{}, 8); err == nil {
+		t.Error("LowerBound accepted empty SOC")
+	}
+}
+
+// TestValidateCatchesCorruption feeds Validate broken schedules.
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := miniSOC()
+	good, err := pack.Pack(s, 12, pack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(s.Cores)
+	corrupt := func(mutate func(*pack.Schedule)) *pack.Schedule {
+		c := &pack.Schedule{TotalWidth: good.TotalWidth, Makespan: good.Makespan}
+		c.Rects = append([]pack.Rect(nil), good.Rects...)
+		mutate(c)
+		return c
+	}
+	cases := []struct {
+		name   string
+		mutate func(*pack.Schedule)
+	}{
+		{"missing core", func(c *pack.Schedule) { c.Rects = c.Rects[1:] }},
+		{"duplicate core", func(c *pack.Schedule) { c.Rects[0].Core = c.Rects[1].Core }},
+		{"outside bin", func(c *pack.Schedule) { c.Rects[0].Wire = c.TotalWidth }},
+		{"zero width", func(c *pack.Schedule) { c.Rects[0].Width = 0 }},
+		{"negative interval", func(c *pack.Schedule) {
+			c.Rects[0].Start = 1
+			c.Rects[0].End = 0
+		}},
+		{"wrong makespan", func(c *pack.Schedule) { c.Makespan++ }},
+		{"overlap", func(c *pack.Schedule) {
+			c.Rects[1].Wire = c.Rects[0].Wire
+			c.Rects[1].Width = c.Rects[0].Width
+			c.Rects[1].Start = c.Rects[0].Start
+			c.Rects[1].End = c.Rects[0].End
+		}},
+	}
+	for _, tc := range cases {
+		if err := corrupt(tc.mutate).Validate(n); err == nil {
+			t.Errorf("%s: Validate accepted a broken schedule", tc.name)
+		}
+	}
+	if err := good.Validate(n); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}

@@ -20,7 +20,7 @@ import (
 // per-core data (terminal counts, pattern counts, scan chain
 // configurations) follows the values later published with the ITC'02 SOC
 // test benchmarks; the reconstruction computes a test complexity of ~699
-// against the nominal 695 (see DESIGN.md §6).
+// against the nominal 695 (see ARCHITECTURE.md §6).
 func D695() *soc.SOC {
 	return &soc.SOC{Name: "d695", Cores: []soc.Core{
 		{Name: "c6288", Inputs: 32, Outputs: 32, Patterns: 12},

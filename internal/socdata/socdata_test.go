@@ -30,7 +30,7 @@ func TestD695Shape(t *testing.T) {
 		}
 	}
 	// The reconstruction's complexity must sit within 1% of the nominal
-	// 695 (DESIGN.md documents the ~699 recall error).
+	// 695 (ARCHITECTURE.md documents the ~699 recall error).
 	if got := s.TestComplexity(); got < 688 || got > 702 {
 		t.Errorf("test complexity = %d, want ~695", got)
 	}

@@ -11,8 +11,13 @@
 //
 // The top-level entry points are:
 //
+//   - Solve: the unified entry point — the paper's partition flow or the
+//     rectangle bin-packing backend, selected by Options.Strategy, with
+//     partition evaluation parallelized across Options.Workers;
 //   - CoOptimize: the paper's full flow (Partition_evaluate heuristic +
 //     exact final optimization) for the problem P_NPAW;
+//   - PackRectangles / PackingLowerBound: rectangle bin-packing
+//     co-optimization on its own;
 //   - CoOptimizeFixedTAMs: the same with the TAM count fixed (P_PAW);
 //   - Exhaustive / ExhaustiveRange: the exact enumerate-and-solve
 //     baseline of the earlier JETTA 2002 paper, for comparison;
@@ -20,7 +25,7 @@
 //   - ParseSOC / (*SOC).Encode: the .soc text format;
 //   - D695, P21241, P31108, P93791: the paper's benchmark SOCs.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// See ARCHITECTURE.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured results of every table.
 package soctam
 
@@ -29,6 +34,7 @@ import (
 
 	"soctam/internal/assign"
 	"soctam/internal/coopt"
+	"soctam/internal/pack"
 	"soctam/internal/schedule"
 	"soctam/internal/soc"
 	"soctam/internal/socdata"
@@ -62,6 +68,13 @@ type (
 	Stats = coopt.Stats
 	// Solver selects the exact engine for final optimization.
 	Solver = coopt.Solver
+	// Strategy selects the co-optimization backend for Solve.
+	Strategy = coopt.Strategy
+
+	// PackingSchedule is a rectangle bin-packing of an SOC's tests.
+	PackingSchedule = pack.Schedule
+	// PackingRect is one core's test placed in the W×T bin.
+	PackingRect = pack.Rect
 
 	// Timeline is the test schedule implied by an architecture.
 	Timeline = schedule.Timeline
@@ -77,6 +90,14 @@ const (
 	SolverBB = coopt.SolverBB
 	// SolverILP is the Section 3.2 integer linear program.
 	SolverILP = coopt.SolverILP
+)
+
+// Backend choices for Options.Strategy.
+const (
+	// StrategyPartition is the paper's partition flow (default).
+	StrategyPartition = coopt.StrategyPartition
+	// StrategyPacking is rectangle bin-packing co-optimization.
+	StrategyPacking = coopt.StrategyPacking
 )
 
 // ParseSOC reads an SOC in the .soc text format.
@@ -120,11 +141,35 @@ func SolveAssignment(in *Instance, nodeLimit int64) (Assignment, bool, error) {
 	return assign.SolveExact(in, assign.ExactOptions{NodeLimit: nodeLimit})
 }
 
+// Solve designs a complete test access architecture for the SOC with
+// the backend selected by Options.Strategy: the paper's partition flow
+// (the default, equal to CoOptimize) or rectangle bin-packing, whose
+// schedule is returned in Result.Packing. Partition evaluation runs on
+// Options.Workers goroutines (0 = all CPUs; 1 reproduces the paper's
+// sequential evaluation order exactly).
+func Solve(s *SOC, totalWidth int, opt Options) (Result, error) {
+	return coopt.Solve(s, totalWidth, opt)
+}
+
 // CoOptimize designs a complete test access architecture for the SOC
 // under a total TAM width budget (problem P_NPAW): TAM count, width
 // partition, core assignment and per-core wrappers.
 func CoOptimize(s *SOC, totalWidth int, opt Options) (Result, error) {
 	return coopt.CoOptimize(s, totalWidth, opt)
+}
+
+// PackRectangles co-optimizes the SOC by rectangle bin-packing alone:
+// cores become width×time rectangles placed into the W×T bin, so TAM
+// wires are re-divided between cores over time instead of forming fixed
+// test buses.
+func PackRectangles(s *SOC, totalWidth int) (*PackingSchedule, error) {
+	return pack.Pack(s, totalWidth, pack.Options{})
+}
+
+// PackingLowerBound returns the rectangle-packing lower bound on the SOC
+// testing time: bin area and longest-single-test arguments combined.
+func PackingLowerBound(s *SOC, totalWidth int) (Cycles, error) {
+	return pack.LowerBound(s, totalWidth)
 }
 
 // CoOptimizeFixedTAMs co-optimizes with the TAM count fixed (P_PAW).
@@ -160,7 +205,7 @@ func LowerBound(s *SOC, totalWidth int) (Cycles, error) {
 // D695 returns the academic benchmark SOC d695.
 func D695() *SOC { return socdata.D695() }
 
-// P21241 returns the synthesized industrial SOC p21241 (see DESIGN.md §4
+// P21241 returns the synthesized industrial SOC p21241 (see ARCHITECTURE.md §4
 // for the substitution rationale).
 func P21241() *SOC { return socdata.P21241() }
 
