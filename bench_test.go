@@ -253,6 +253,34 @@ func BenchmarkPackingD695(b *testing.B) {
 	b.ReportMetric(float64(last), "cycles")
 }
 
+// BenchmarkPowerConstrained measures the cost of the peak-power ceiling
+// on both backends at the literature's classic 1800-unit operating
+// point (compare against BenchmarkPackingD695 and the partition sweeps
+// for the unconstrained baselines).
+func BenchmarkPowerConstrained(b *testing.B) {
+	s := socdata.D695()
+	for _, bc := range []struct {
+		name     string
+		strategy coopt.Strategy
+	}{
+		{"partition", coopt.StrategyPartition},
+		{"packing", coopt.StrategyPacking},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var last soctam.Cycles
+			for i := 0; i < b.N; i++ {
+				res, err := coopt.Solve(s, 32, coopt.Options{Strategy: bc.strategy, MaxPower: 1800, Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Time
+			}
+			b.ReportMetric(float64(last), "cycles")
+		})
+	}
+}
+
 // --- Primitive benches -------------------------------------------------
 
 func BenchmarkDesignWrapperS38584(b *testing.B) {

@@ -9,6 +9,7 @@
 //	wtam -soc chip.soc -width 64 -tams 3
 //	wtam -benchmark p93791 -width 64 -exhaustive -max-tams 3
 //	wtam -benchmark d695 -width 32 -strategy packing
+//	wtam -benchmark d695 -width 32 -max-power 1800 -gantt
 //	wtam -benchmark p21241 -width 64 -workers 8
 //
 // With -tams 0 (the default) the TAM count is optimized too (problem
@@ -18,6 +19,8 @@
 // bin-packing co-optimization: wires are re-divided between cores over
 // time instead of forming fixed test buses. -workers parallelizes
 // partition evaluation (0 = all CPUs, 1 = the paper's sequential order).
+// -max-power imposes a peak-power ceiling on concurrently running tests
+// (0 uses the SOC's own maxpower attribute; both backends honor it).
 package main
 
 import (
@@ -48,6 +51,7 @@ func run() error {
 		nodeLimit  = flag.Int64("node-limit", 0, "node budget per exact solve (0 = default)")
 		strategy   = flag.String("strategy", "partition", "co-optimization backend: partition or packing")
 		workers    = flag.Int("workers", 0, "partition-evaluation goroutines (0 = all CPUs, 1 = paper's sequential order)")
+		maxPower   = flag.Int("max-power", 0, "peak-power ceiling on concurrent tests (0 = the SOC's own maxpower, if any)")
 		verbose    = flag.Bool("v", false, "print per-core wrapper usage on the chosen architecture")
 		gantt      = flag.Bool("gantt", false, "print the test schedule as a Gantt chart with utilization")
 	)
@@ -61,6 +65,7 @@ func run() error {
 		MaxTAMs:   *maxTAMs,
 		NodeLimit: *nodeLimit,
 		Workers:   *workers,
+		MaxPower:  *maxPower,
 	}
 	if *useILP {
 		opt.FinalSolver = soctam.SolverILP
@@ -70,11 +75,13 @@ func run() error {
 	case "packing":
 		// Packing has no fixed TAMs, no exact step, no partition
 		// enumeration: every flag tuning those is silently meaningless,
-		// so reject any the user explicitly set.
+		// so reject any the user explicitly set. (-gantt and -max-power
+		// are meaningful: the packed schedule renders as a wire-band
+		// chart and the packer honors the power ceiling.)
 		var unusable []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "tams", "exhaustive", "ilp", "gantt", "node-limit", "max-tams", "workers":
+			case "tams", "exhaustive", "ilp", "node-limit", "max-tams", "workers":
 				unusable = append(unusable, "-"+f.Name)
 			}
 		})
@@ -87,7 +94,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return printPacking(s, res, *verbose)
+		return printPacking(s, res, *verbose, *gantt)
 	default:
 		return fmt.Errorf("unknown strategy %q (have partition, packing)", *strategy)
 	}
@@ -133,6 +140,10 @@ func run() error {
 	}
 	fmt.Printf("partitions:       %d enumerated, %d evaluated to completion, %d pruned%s\n",
 		res.Stats.Enumerated, res.Stats.Completed, res.Stats.Aborted, statsNote)
+	if res.Stats.PowerInfeasible > 0 {
+		fmt.Printf("power-rejected:   %d would-be improvements breached the ceiling\n", res.Stats.PowerInfeasible)
+	}
+	printPower(res)
 	fmt.Printf("elapsed:          %s\n", res.Elapsed)
 
 	if *verbose {
@@ -149,8 +160,9 @@ func run() error {
 }
 
 // printPacking reports a rectangle bin-packing result: one row per
-// placed rectangle plus the bin-level summary.
-func printPacking(s *soctam.SOC, res soctam.Result, verbose bool) error {
+// placed rectangle plus the bin-level summary (and, with gantt, the
+// wire-band chart).
+func printPacking(s *soctam.SOC, res soctam.Result, verbose, gantt bool) error {
 	sch := res.Packing
 	fmt.Printf("SOC:              %s\n", s)
 	fmt.Printf("strategy:         %s\n", res.Strategy)
@@ -163,12 +175,17 @@ func printPacking(s *soctam.SOC, res soctam.Result, verbose bool) error {
 		fmt.Printf("packing bound:    0 cycles\n")
 	}
 	fmt.Printf("wire-cycles:      %.1f%% busy\n", 100*sch.BusyFraction())
+	printPower(res)
 	fmt.Printf("elapsed:          %s\n", res.Elapsed)
 	fmt.Println("\nrectangle schedule (wires × cycles, half-open ranges):")
 	for i := range sch.Rects {
 		r := &sch.Rects[i]
 		fmt.Printf("  core %-10s wires [%2d,%2d)  cycles [%8d,%-8d) (%2d × %d)\n",
 			s.Cores[r.Core].Name, r.Wire, r.Wire+r.Width, r.Start, r.End, r.Width, r.Duration())
+	}
+	if gantt {
+		fmt.Println("\ntest schedule (wire bands):")
+		fmt.Print(sch.Gantt(72, func(core int) string { return s.Cores[core].Name }))
 	}
 	if verbose {
 		fmt.Println("\nper-core wrapper designs:")
@@ -186,6 +203,17 @@ func printPacking(s *soctam.SOC, res soctam.Result, verbose bool) error {
 	return nil
 }
 
+// printPower reports the architecture's peak concurrent power against
+// the ceiling, when either is known.
+func printPower(res soctam.Result) {
+	switch {
+	case res.MaxPower > 0:
+		fmt.Printf("peak power:       %d of %d power units (ceiling)\n", res.PeakPower, res.MaxPower)
+	case res.PeakPower > 0:
+		fmt.Printf("peak power:       %d power units (unconstrained)\n", res.PeakPower)
+	}
+}
+
 // printGantt renders the architecture's test schedule and its wire-cycle
 // utilization.
 func printGantt(s *soctam.SOC, res soctam.Result) error {
@@ -200,6 +228,10 @@ func printGantt(s *soctam.SOC, res soctam.Result) error {
 		100*u.BusyFraction(),
 		100*float64(u.WrapperIdle)/float64(u.TotalWireCycles),
 		100*float64(u.TailIdle)/float64(u.TotalWireCycles))
+	if u.PeakPower > 0 {
+		fmt.Printf("power profile:    peak %d power units over %d steps\n",
+			u.PeakPower, len(tl.PowerProfile()))
+	}
 	return nil
 }
 

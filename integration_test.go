@@ -131,6 +131,7 @@ func TestRunAllQuick(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"==== figure2 ====", "==== table1 ====", "==== table19 ====",
+		"==== power ====", "Power sweep",
 		"Table 2(a)", "Table 13", "ranges in test data",
 	} {
 		if !strings.Contains(out, want) {

@@ -17,12 +17,30 @@ import (
 //     deliver at most W bits per cycle in aggregate, and w·T_i(w) is the
 //     wire-cycle cost of core i on a width-w TAM, so every schedule
 //     spends at least Σ_i min_w w·T_i(w) wire-cycles.
+//
+// When the SOC carries a peak-power ceiling a third bound applies: the
+// test-energy bound ceil(Σ_i P_i·T_i(W) / MaxPower) — a core's test
+// consumes at least P_i times its fastest testing time in power-cycles,
+// and the ceiling caps delivery at MaxPower power-cycles per cycle.
+// The energy term assumes the SOC's own MaxPower is the ceiling in
+// force: a run whose Options.MaxPower overrides it with a looser value
+// is bounded only by the two power-free terms.
 func LowerBound(s *soc.SOC, width int) (soc.Cycles, error) {
 	tables, err := TimeTables(s, width)
 	if err != nil {
 		return 0, err
 	}
-	return lowerBoundFromTables(tables, width), nil
+	lb := lowerBoundFromTables(tables, width)
+	if s.MaxPower > 0 {
+		var energy int64
+		for i, table := range tables {
+			energy += int64(s.Cores[i].Power) * int64(table[width-1])
+		}
+		if pb := soc.Cycles((energy + int64(s.MaxPower) - 1) / int64(s.MaxPower)); pb > lb {
+			lb = pb
+		}
+	}
+	return lb, nil
 }
 
 func lowerBoundFromTables(tables [][]soc.Cycles, width int) soc.Cycles {

@@ -144,6 +144,14 @@ type Options struct {
 	// Strategy picks the Solve backend (partition flow or rectangle
 	// packing). The partition-specific entry points ignore it.
 	Strategy Strategy
+	// MaxPower is the SOC-level peak-power ceiling: the summed test
+	// power of concurrently running tests may never exceed it. <= 0
+	// falls back to the SOC's own MaxPower; 0 there too leaves the run
+	// unconstrained (and reproduces power-oblivious results exactly).
+	// The partition flow rejects architectures whose serial-per-TAM
+	// schedule would breach the ceiling; the packing backend never
+	// places a rectangle into a breaching position.
+	MaxPower int
 }
 
 func (o Options) maxTAMs() int {
@@ -182,6 +190,10 @@ type Stats struct {
 	Aborted int
 	// Improved counts how often the running best testing time improved.
 	Improved int
+	// PowerInfeasible counts completed evaluations whose testing time
+	// would have improved the running best but whose schedule breached
+	// the peak-power ceiling.
+	PowerInfeasible int
 }
 
 func (s *Stats) add(t Stats) {
@@ -189,6 +201,7 @@ func (s *Stats) add(t Stats) {
 	s.Completed += t.Completed
 	s.Aborted += t.Aborted
 	s.Improved += t.Improved
+	s.PowerInfeasible += t.PowerInfeasible
 }
 
 // Result is the outcome of a co-optimization or baseline run.
@@ -216,6 +229,12 @@ type Result struct {
 	// AssignmentOptimal reports whether the final assignment is the
 	// proven optimum for the winning partition.
 	AssignmentOptimal bool
+	// MaxPower is the effective peak-power ceiling the run enforced
+	// (Options.MaxPower or the SOC's own; 0 = unconstrained).
+	MaxPower int
+	// PeakPower is the peak concurrent test power of the returned
+	// architecture's schedule (0 when the SOC has no power data).
+	PeakPower int
 	// Stats aggregates partition-evaluation counters.
 	Stats Stats
 	// Elapsed is the wall-clock duration of the run.
@@ -249,6 +268,7 @@ func TimeTables(s *soc.SOC, maxWidth int) ([][]soc.Cycles, error) {
 type evaluator struct {
 	tables [][]soc.Cycles
 	opt    Options
+	pc     *powerContext
 
 	haveBest bool       // a completed evaluation has been recorded
 	best     soc.Cycles // running best testing time (valid when haveBest)
@@ -327,6 +347,13 @@ func (e *evaluator) evaluateOne(parts []int) {
 	// legitimate 0-cycle best, so the first attainer wins even on
 	// degenerate SOCs whose tests all take zero time.
 	if !e.haveBest || a.Time < e.best {
+		// Power feasibility is checked only on would-be improvements:
+		// it needs the full serial-per-TAM schedule, and partitions that
+		// cannot win cannot need it.
+		if !e.pc.feasible(e.tables, parts, a.TAMOf) {
+			e.stats.PowerInfeasible++
+			return
+		}
 		e.haveBest = true
 		e.best = a.Time
 		e.bestPart = partition.Canonical(parts)
@@ -386,13 +413,13 @@ func (e *evaluator) evaluateB(width, numTAMs int) error {
 // finish runs the heuristic once more on the winning partition (for the
 // assignment witness) and then the exact final step, assembling Result.
 func (e *evaluator) finish(width int, started time.Time) (Result, error) {
-	return finishResult(e.tables, e.opt, e.best, e.bestPart, e.stats, width, started)
+	return finishResult(e.tables, e.opt, e.pc, e.best, e.bestPart, e.stats, width, started)
 }
 
 // finishResult replays the heuristic on the winning partition (for the
 // assignment witness) and runs the exact final step, assembling Result.
 // It is shared by the sequential and parallel evaluation paths.
-func finishResult(tables [][]soc.Cycles, opt Options, best soc.Cycles, bestPart []int, stats Stats, width int, started time.Time) (Result, error) {
+func finishResult(tables [][]soc.Cycles, opt Options, pc *powerContext, best soc.Cycles, bestPart []int, stats Stats, width int, started time.Time) (Result, error) {
 	if bestPart == nil {
 		return Result{}, fmt.Errorf("coopt: no feasible partition found for width %d", width)
 	}
@@ -412,6 +439,7 @@ func finishResult(tables [][]soc.Cycles, opt Options, best soc.Cycles, bestPart 
 		Assignment:    heur,
 		Time:          heur.Time,
 		Stats:         stats,
+		MaxPower:      pc.maxPower(),
 	}
 	if !opt.SkipFinal {
 		final, optimal, err := solveExact(inst, opt)
@@ -420,13 +448,15 @@ func finishResult(tables [][]soc.Cycles, opt Options, best soc.Cycles, bestPart 
 		}
 		// The exact step can only improve on the heuristic; keep the
 		// better of the two (they are equal when the heuristic was
-		// already optimal).
-		if final.Time <= heur.Time {
+		// already optimal) — unless its reshuffled schedule would breach
+		// the power ceiling the heuristic assignment respects.
+		if final.Time <= heur.Time && pc.feasible(tables, bestPart, final.TAMOf) {
 			res.Assignment = final
 			res.Time = final.Time
 			res.AssignmentOptimal = optimal
 		}
 	}
+	res.PeakPower = pc.peak(tables, bestPart, res.Assignment.TAMOf)
 	res.Elapsed = time.Since(started)
 	return res, nil
 }
@@ -458,14 +488,18 @@ func PartitionEvaluate(s *soc.SOC, width, numTAMs int, opt Options) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
+	pc, err := newPowerContext(s, opt)
+	if err != nil {
+		return Result{}, err
+	}
 	if opt.workers() > 1 {
-		p := newParEvaluator(tables, opt)
+		p := newParEvaluator(tables, opt, pc)
 		if err := p.evaluateB(width, numTAMs); err != nil {
 			return Result{}, err
 		}
 		return p.finish(width, started)
 	}
-	e := &evaluator{tables: tables, opt: opt}
+	e := &evaluator{tables: tables, opt: opt, pc: pc}
 	if err := e.evaluateB(width, numTAMs); err != nil {
 		return Result{}, err
 	}
@@ -481,12 +515,16 @@ func CoOptimize(s *soc.SOC, width int, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	pc, err := newPowerContext(s, opt)
+	if err != nil {
+		return Result{}, err
+	}
 	maxB := opt.maxTAMs()
 	if maxB > width {
 		maxB = width
 	}
 	if opt.workers() > 1 {
-		p := newParEvaluator(tables, opt)
+		p := newParEvaluator(tables, opt, pc)
 		for b := 1; b <= maxB; b++ {
 			if err := p.evaluateB(width, b); err != nil {
 				return Result{}, err
@@ -494,7 +532,7 @@ func CoOptimize(s *soc.SOC, width int, opt Options) (Result, error) {
 		}
 		return p.finish(width, started)
 	}
-	e := &evaluator{tables: tables, opt: opt}
+	e := &evaluator{tables: tables, opt: opt, pc: pc}
 	for b := 1; b <= maxB; b++ {
 		if err := e.evaluateB(width, b); err != nil {
 			return Result{}, err
@@ -514,7 +552,11 @@ func Exhaustive(s *soc.SOC, width, numTAMs int, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	e := exhaustiveState{tables: tables, opt: opt}
+	pc, err := newPowerContext(s, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	e := exhaustiveState{tables: tables, opt: opt, pc: pc}
 	if err := e.run(width, numTAMs); err != nil {
 		return Result{}, err
 	}
@@ -528,7 +570,11 @@ func ExhaustiveRange(s *soc.SOC, width int, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	e := exhaustiveState{tables: tables, opt: opt}
+	pc, err := newPowerContext(s, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	e := exhaustiveState{tables: tables, opt: opt, pc: pc}
 	maxB := opt.maxTAMs()
 	if maxB > width {
 		maxB = width
@@ -544,13 +590,15 @@ func ExhaustiveRange(s *soc.SOC, width int, opt Options) (Result, error) {
 type exhaustiveState struct {
 	tables [][]soc.Cycles
 	opt    Options
+	pc     *powerContext
 
-	best       soc.Cycles
-	bestPart   []int
-	bestAssign assign.Assignment
-	allOptimal bool
-	evaluated  int
-	started    bool
+	best            soc.Cycles
+	bestPart        []int
+	bestAssign      assign.Assignment
+	allOptimal      bool
+	evaluated       int
+	powerInfeasible int
+	started         bool
 }
 
 func (e *exhaustiveState) run(width, numTAMs int) error {
@@ -574,7 +622,16 @@ func (e *exhaustiveState) run(width, numTAMs int) error {
 		if !optimal {
 			e.allOptimal = false
 		}
+		// Under a power ceiling the baseline accepts a partition only if
+		// the exact minimum-time assignment also keeps its serial-per-TAM
+		// schedule under the ceiling ([8] predates power-constrained
+		// scheduling; a slower but feasible assignment of a rejected
+		// partition is not searched for).
 		if e.bestPart == nil || a.Time < e.best {
+			if !e.pc.feasible(e.tables, parts, a.TAMOf) {
+				e.powerInfeasible++
+				return true
+			}
 			e.best = a.Time
 			e.bestPart = partition.Canonical(parts)
 			e.bestAssign = a
@@ -596,7 +653,9 @@ func (e *exhaustiveState) result(width int, started time.Time) (Result, error) {
 		Assignment:        e.bestAssign,
 		Time:              e.best,
 		AssignmentOptimal: e.allOptimal,
-		Stats:             Stats{Enumerated: e.evaluated, Completed: e.evaluated},
+		MaxPower:          e.pc.maxPower(),
+		PeakPower:         e.pc.peak(e.tables, e.bestPart, e.bestAssign.TAMOf),
+		Stats:             Stats{Enumerated: e.evaluated, Completed: e.evaluated, PowerInfeasible: e.powerInfeasible},
 		Elapsed:           time.Since(started),
 	}, nil
 }

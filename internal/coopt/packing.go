@@ -14,7 +14,7 @@ import (
 // report — the schedule itself (Result.Packing) is the architecture.
 func solvePacking(s *soc.SOC, width int, opt Options) (Result, error) {
 	started := time.Now()
-	sch, err := pack.Pack(s, width, pack.Options{})
+	sch, err := pack.Pack(s, width, pack.Options{MaxPower: opt.MaxPower})
 	if err != nil {
 		return Result{}, err
 	}
@@ -24,6 +24,8 @@ func solvePacking(s *soc.SOC, width int, opt Options) (Result, error) {
 		Packing:       sch,
 		HeuristicTime: sch.Makespan,
 		Time:          sch.Makespan,
+		MaxPower:      sch.MaxPower,
+		PeakPower:     sch.PeakPower(),
 		Elapsed:       time.Since(started),
 	}, nil
 }

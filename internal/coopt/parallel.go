@@ -47,6 +47,7 @@ func (b *batch) parts(i int) []int { return b.flat[i*b.width : (i+1)*b.width] }
 type parEvaluator struct {
 	tables [][]soc.Cycles
 	opt    Options
+	pc     *powerContext
 
 	best atomic.Int64 // running best testing time in cycles; 0 = none yet
 	// (a genuine 0-cycle best leaves the atomic at 0, which only costs
@@ -61,8 +62,8 @@ type parEvaluator struct {
 	seq int64 // next sequence number (touched only by the generator)
 }
 
-func newParEvaluator(tables [][]soc.Cycles, opt Options) *parEvaluator {
-	return &parEvaluator{tables: tables, opt: opt}
+func newParEvaluator(tables [][]soc.Cycles, opt Options, pc *powerContext) *parEvaluator {
+	return &parEvaluator{tables: tables, opt: opt, pc: pc}
 }
 
 // evaluateB enumerates all width partitions for a fixed TAM count and
@@ -139,7 +140,7 @@ func (p *parEvaluator) worker(numTAMs int, jobs <-chan batch) {
 			if !completed {
 				continue
 			}
-			p.record(a.Time, parts, b.seq0+int64(k), &local)
+			p.record(a.Time, parts, a.TAMOf, b.seq0+int64(k), &local)
 		}
 	}
 	p.mu.Lock()
@@ -149,8 +150,16 @@ func (p *parEvaluator) worker(numTAMs int, jobs <-chan batch) {
 
 // record folds one completed evaluation into the shared best: better
 // time wins, equal time goes to the earlier enumeration sequence.
-func (p *parEvaluator) record(t soc.Cycles, parts []int, seq int64, local *Stats) {
+// Power-infeasible evaluations never reach the shared best, so the
+// potential-winner set stays evaluation-order independent and the
+// determinism argument above carries over unchanged.
+func (p *parEvaluator) record(t soc.Cycles, parts []int, tamOf []int, seq int64, local *Stats) {
 	if cur := p.best.Load(); cur != 0 && soc.Cycles(cur) < t {
+		return
+	}
+	// Checked outside the lock: feasibility is partition-intrinsic.
+	if !p.pc.feasible(p.tables, parts, tamOf) {
+		local.PowerInfeasible++
 		return
 	}
 	p.mu.Lock()
@@ -173,5 +182,5 @@ func (p *parEvaluator) record(t soc.Cycles, parts []int, seq int64, local *Stats
 
 // finish assembles the Result exactly like the sequential path.
 func (p *parEvaluator) finish(width int, started time.Time) (Result, error) {
-	return finishResult(p.tables, p.opt, soc.Cycles(p.best.Load()), p.bestPart, p.stats, width, started)
+	return finishResult(p.tables, p.opt, p.pc, soc.Cycles(p.best.Load()), p.bestPart, p.stats, width, started)
 }

@@ -169,3 +169,33 @@ func TestStrategyString(t *testing.T) {
 		t.Error("unknown strategy string")
 	}
 }
+
+// TestParallelMatchesSequentialPower extends the worker-pool invisibility
+// guarantee to power-constrained runs: the feasibility filter is
+// partition-intrinsic, so the chosen partition and testing time must not
+// depend on the worker count under any ceiling.
+func TestParallelMatchesSequentialPower(t *testing.T) {
+	s := socdata.D695()
+	for _, pmax := range []int{2500, 1800, 1200} {
+		seq, err := CoOptimize(s, 32, Options{Workers: 1, MaxPower: pmax})
+		if err != nil {
+			t.Fatalf("sequential Pmax=%d: %v", pmax, err)
+		}
+		if seq.PeakPower > pmax {
+			t.Errorf("sequential Pmax=%d: peak %d above ceiling", pmax, seq.PeakPower)
+		}
+		for _, workers := range []int{2, 4} {
+			par, err := CoOptimize(s, 32, Options{Workers: workers, MaxPower: pmax})
+			if err != nil {
+				t.Fatalf("workers=%d Pmax=%d: %v", workers, pmax, err)
+			}
+			if par.Time != seq.Time || !reflect.DeepEqual(par.Partition, seq.Partition) {
+				t.Errorf("workers=%d Pmax=%d: %d on %v, sequential %d on %v",
+					workers, pmax, par.Time, par.Partition, seq.Time, seq.Partition)
+			}
+			if par.PeakPower != seq.PeakPower {
+				t.Errorf("workers=%d Pmax=%d: peak %d, sequential %d", workers, pmax, par.PeakPower, seq.PeakPower)
+			}
+		}
+	}
+}

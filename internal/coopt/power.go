@@ -1,0 +1,103 @@
+package coopt
+
+import (
+	"fmt"
+	"sort"
+
+	"soctam/internal/soc"
+)
+
+// powerContext carries the per-core test powers and the peak-power
+// ceiling through partition evaluation. A nil context means the SOC has
+// no power data and no ceiling: every check passes and every peak is 0.
+type powerContext struct {
+	powers []int
+	// ceiling is the effective peak-power limit; 0 records power peaks
+	// without constraining anything.
+	ceiling int
+}
+
+// newPowerContext resolves the effective ceiling (Options.MaxPower wins
+// over the SOC's own MaxPower) and snapshots the core powers. It errors
+// when a single testable core draws more than the ceiling alone: no
+// schedule at all could satisfy it.
+func newPowerContext(s *soc.SOC, opt Options) (*powerContext, error) {
+	ceiling := opt.MaxPower
+	if ceiling <= 0 {
+		ceiling = s.MaxPower
+	}
+	if ceiling < 0 {
+		ceiling = 0
+	}
+	if err := s.CheckPowerCeiling(ceiling); err != nil {
+		return nil, fmt.Errorf("coopt: %w", err)
+	}
+	anyPower := false
+	powers := make([]int, len(s.Cores))
+	for i := range s.Cores {
+		powers[i] = s.Cores[i].Power
+		if powers[i] != 0 {
+			anyPower = true
+		}
+	}
+	if !anyPower && ceiling == 0 {
+		return nil, nil
+	}
+	return &powerContext{powers: powers, ceiling: ceiling}, nil
+}
+
+// maxPower returns the effective ceiling (0 for a nil context).
+func (pc *powerContext) maxPower() int {
+	if pc == nil {
+		return 0
+	}
+	return pc.ceiling
+}
+
+// constrained reports whether a ceiling is actually enforced.
+func (pc *powerContext) constrained() bool { return pc != nil && pc.ceiling > 0 }
+
+// feasible reports whether the serial-per-TAM schedule implied by the
+// assignment keeps its concurrent-power peak within the ceiling.
+func (pc *powerContext) feasible(tables [][]soc.Cycles, parts []int, tamOf []int) bool {
+	if !pc.constrained() {
+		return true
+	}
+	return pc.peak(tables, parts, tamOf) <= pc.ceiling
+}
+
+// peak computes the peak concurrent test power of the schedule the
+// partition flow implies: cores on one TAM run serially, longest test
+// first with ties by core index (exactly schedule.Build's order), and
+// the TAMs run in parallel from cycle 0.
+func (pc *powerContext) peak(tables [][]soc.Cycles, parts []int, tamOf []int) int {
+	if pc == nil {
+		return 0
+	}
+	type test struct {
+		core int
+		dur  soc.Cycles
+	}
+	perTAM := make([][]test, len(parts))
+	for i, j := range tamOf {
+		perTAM[j] = append(perTAM[j], test{core: i, dur: tables[i][parts[j]-1]})
+	}
+	var events []soc.PowerEvent
+	for _, tests := range perTAM {
+		sort.SliceStable(tests, func(a, b int) bool {
+			if tests[a].dur != tests[b].dur {
+				return tests[a].dur > tests[b].dur
+			}
+			return tests[a].core < tests[b].core
+		})
+		var clock soc.Cycles
+		for _, ct := range tests {
+			if p := pc.powers[ct.core]; p != 0 && ct.dur > 0 {
+				events = append(events, soc.PowerEvent{At: clock, Delta: p},
+					soc.PowerEvent{At: clock + ct.dur, Delta: -p})
+			}
+			clock += ct.dur
+		}
+	}
+	return soc.PeakConcurrent(events)
+}

@@ -1,0 +1,41 @@
+package coopt
+
+import (
+	"testing"
+
+	"soctam/internal/socdata"
+)
+
+// TestExhaustivePowerCeiling checks the [8] baseline under a ceiling:
+// the returned architecture respects it, costs testing time against the
+// unconstrained optimum, and the rejections are counted in Stats (the
+// same accounting wtam's power-rejected line prints for the heuristic
+// flow).
+func TestExhaustivePowerCeiling(t *testing.T) {
+	s := socdata.D695()
+	free, err := Exhaustive(s, 16, 2, Options{})
+	if err != nil {
+		t.Fatalf("unconstrained: %v", err)
+	}
+	if free.Stats.PowerInfeasible != 0 {
+		t.Errorf("unconstrained run counted %d power rejections", free.Stats.PowerInfeasible)
+	}
+	res, err := Exhaustive(s, 16, 2, Options{MaxPower: 1800})
+	if err != nil {
+		t.Fatalf("Pmax=1800: %v", err)
+	}
+	if res.PeakPower > 1800 {
+		t.Errorf("peak power %d above ceiling 1800", res.PeakPower)
+	}
+	if res.Time < free.Time {
+		t.Errorf("constrained time %d beats unconstrained %d", res.Time, free.Time)
+	}
+	if res.Stats.PowerInfeasible == 0 {
+		t.Error("binding ceiling counted no power rejections")
+	}
+	// A ceiling infeasible at B=2 (serial pairs still overlap too much)
+	// must error, not return a breaching architecture.
+	if _, err := Exhaustive(s, 16, 2, Options{MaxPower: 1200}); err == nil {
+		t.Error("infeasible ceiling accepted")
+	}
+}

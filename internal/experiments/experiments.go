@@ -4,7 +4,8 @@
 // baseline against the new co-optimization method (Tables 2, 5-6, 9-12,
 // 15-18), the P_NPAW sweeps (Tables 3, 7, 13, 19) and the core-data range
 // tables (4, 8, 14) — plus the "packing" comparison of the rectangle
-// bin-packing backend against the partition flow (no paper counterpart).
+// bin-packing backend against the partition flow and the "power"
+// peak-power-ceiling sweep (no paper counterparts).
 //
 // Each experiment is a named Generator in the registry; cmd/tables runs
 // them from the command line and bench_test.go wraps each in a benchmark.
@@ -87,6 +88,7 @@ var registry = map[string]Generator{
 	"table17-18": Table17and18,
 	"table19":    Table19,
 	"packing":    PackingVsPartition,
+	"power":      PowerSweep,
 }
 
 // Names returns the registered experiment names in order.
@@ -136,6 +138,7 @@ func orderedNames() []string {
 		"figure2", "table1", "table2", "table3", "table4", "table5-6",
 		"table7", "table8", "table9-10", "table11-12", "table13",
 		"table14", "table15-16", "table17-18", "table19", "packing",
+		"power",
 	}
 }
 

@@ -1,0 +1,4 @@
+package pack
+
+// ScaleCycles exposes scaleCycles to the external test package.
+var ScaleCycles = scaleCycles

@@ -23,7 +23,9 @@ package pack
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 
 	"soctam/internal/soc"
 	"soctam/internal/wrapper"
@@ -41,6 +43,9 @@ type Rect struct {
 	Width int
 	// Start and End delimit the core's test in clock cycles.
 	Start, End soc.Cycles
+	// Power is the test power the core draws while the rectangle runs
+	// (0 when the SOC carries no power data).
+	Power int
 }
 
 // Duration returns the rectangle length in cycles.
@@ -56,8 +61,28 @@ type Schedule struct {
 	// Makespan is the SOC testing time: the latest rectangle end.
 	Makespan soc.Cycles
 	// Bound is the packing lower bound for this SOC and width (bin
-	// area vs longest single test); Makespan >= Bound always.
+	// area vs longest single test vs total test energy over the power
+	// ceiling); Makespan >= Bound always.
 	Bound soc.Cycles
+	// MaxPower is the peak-power ceiling the schedule was packed under;
+	// 0 means unconstrained. Validate enforces PeakPower <= MaxPower.
+	MaxPower int
+}
+
+// PeakPower returns the maximum summed test power of concurrently
+// running tests anywhere in the schedule. Tests meeting at an instant
+// (one ends exactly where the other starts) do not overlap.
+func (s *Schedule) PeakPower() int {
+	events := make([]soc.PowerEvent, 0, 2*len(s.Rects))
+	for i := range s.Rects {
+		r := &s.Rects[i]
+		if r.Power == 0 || r.Duration() == 0 {
+			continue
+		}
+		events = append(events, soc.PowerEvent{At: r.Start, Delta: r.Power},
+			soc.PowerEvent{At: r.End, Delta: -r.Power})
+	}
+	return soc.PeakConcurrent(events)
 }
 
 // BusyFraction returns the packed area over the bin area W×makespan —
@@ -101,6 +126,9 @@ func (s *Schedule) Validate(numCores int) error {
 		if r.Start < 0 || r.End < r.Start {
 			return fmt.Errorf("pack: core %d has negative interval [%d,%d)", r.Core+1, r.Start, r.End)
 		}
+		if r.Power < 0 {
+			return fmt.Errorf("pack: core %d has negative test power %d", r.Core+1, r.Power)
+		}
 		if r.End > span {
 			span = r.End
 		}
@@ -117,6 +145,11 @@ func (s *Schedule) Validate(numCores int) error {
 			}
 		}
 	}
+	if s.MaxPower > 0 {
+		if peak := s.PeakPower(); peak > s.MaxPower {
+			return fmt.Errorf("pack: peak concurrent power %d exceeds the ceiling %d", peak, s.MaxPower)
+		}
+	}
 	return nil
 }
 
@@ -128,6 +161,12 @@ type Options struct {
 	// shapes the rectangles (preferred widths); the best resulting
 	// schedule wins regardless of which budget produced it.
 	Budgets []float64
+	// MaxPower is the peak-power ceiling enforced during placement: no
+	// position whose concurrent-power profile would exceed it is ever
+	// taken. <= 0 falls back to the SOC's own MaxPower; 0 there too
+	// means unconstrained (and reproduces the power-oblivious packing
+	// exactly).
+	MaxPower int
 }
 
 // builtinBudgets spans tight (wide rectangles, little slack) to relaxed
@@ -142,22 +181,27 @@ func (o Options) budgets() []float64 {
 }
 
 // LowerBound returns the packing lower bound on the SOC testing time for
-// a total width W: the larger of the area bound — each core claims at
+// a total width W: the largest of the area bound — each core claims at
 // least its minimal rectangle area min_w w·T_i(w), and the bin offers
-// W wire-cycles per cycle — and the longest unavoidable single test
-// max_i T_i(W).
+// W wire-cycles per cycle — the longest unavoidable single test
+// max_i T_i(W), and, under the SOC's peak-power ceiling, the energy
+// bound Σ_i P_i·T_i(W) / MaxPower. The energy term assumes the SOC's
+// own MaxPower is in force; a Pack run whose Options.MaxPower loosens
+// it is bounded only by the power-free terms (Schedule.Bound always
+// reflects the effective ceiling).
 func LowerBound(s *soc.SOC, totalWidth int) (soc.Cycles, error) {
 	cores, err := coreShapes(s, totalWidth)
 	if err != nil {
 		return 0, err
 	}
-	return lowerBound(cores, totalWidth), nil
+	return lowerBound(cores, totalWidth, s.MaxPower), nil
 }
 
 // coreShape is the per-core packing input: the Pareto widths worth
 // offering and the testing time at each.
 type coreShape struct {
 	core    int
+	power   int          // test power drawn while the core's test runs
 	widths  []int        // Pareto widths, increasing
 	times   []soc.Cycles // times[k] = T(widths[k]), decreasing
 	minArea int64        // min over k of widths[k]·times[k]
@@ -183,7 +227,7 @@ func coreShapes(s *soc.SOC, totalWidth int) ([]coreShape, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pack: core %d: %w", i+1, err)
 		}
-		sh := coreShape{core: i, widths: widths, minArea: int64(1) << 62}
+		sh := coreShape{core: i, power: s.Cores[i].Power, widths: widths, minArea: int64(1) << 62}
 		for _, w := range widths {
 			t := table[w-1]
 			sh.times = append(sh.times, t)
@@ -196,19 +240,28 @@ func coreShapes(s *soc.SOC, totalWidth int) ([]coreShape, error) {
 	return shapes, nil
 }
 
-func lowerBound(shapes []coreShape, totalWidth int) soc.Cycles {
-	var area int64
+func lowerBound(shapes []coreShape, totalWidth, maxPower int) soc.Cycles {
+	var area, energy int64
 	var longest soc.Cycles
 	for i := range shapes {
 		sh := &shapes[i]
 		area += sh.minArea
-		if t := sh.times[len(sh.times)-1]; t > longest {
-			longest = t
+		shortest := sh.times[len(sh.times)-1]
+		if shortest > longest {
+			longest = shortest
 		}
+		// Power is width-independent, so a core's test energy is at
+		// least its power times its fastest testing time.
+		energy += int64(sh.power) * int64(shortest)
 	}
 	lb := soc.Cycles((area + int64(totalWidth) - 1) / int64(totalWidth))
 	if longest > lb {
 		lb = longest
+	}
+	if maxPower > 0 {
+		if pb := soc.Cycles((energy + int64(maxPower) - 1) / int64(maxPower)); pb > lb {
+			lb = pb
+		}
 	}
 	return lb
 }
@@ -227,21 +280,41 @@ func (sh *coreShape) preferredIndex(budget soc.Cycles) int {
 
 // Pack co-optimizes the SOC's wrappers and TAM wiring by rectangle
 // packing under a total width W, minimizing the SOC testing time. The
-// schedule is always valid; quality comes from the budget sweep.
+// schedule is always valid; quality comes from the budget sweep. Under
+// a peak-power ceiling (Options.MaxPower, falling back to the SOC's
+// MaxPower) no placement whose concurrent-power profile would exceed
+// the ceiling is ever taken, so the returned schedule always satisfies
+// PeakPower <= MaxPower.
 func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
 	shapes, err := coreShapes(s, totalWidth)
 	if err != nil {
 		return nil, err
 	}
-	lb := lowerBound(shapes, totalWidth)
+	ceiling := opt.MaxPower
+	if ceiling <= 0 {
+		ceiling = s.MaxPower
+	}
+	if err := s.CheckPowerCeiling(ceiling); err != nil {
+		return nil, fmt.Errorf("pack: %w", err)
+	}
+	lb := lowerBound(shapes, totalWidth, ceiling)
 	var best *Schedule
+	// tried dedupes budgets: packOnce is deterministic, so re-packing a
+	// budget the sweep or a previous refinement round already shaped can
+	// never improve and is pure waste (sub-lower-bound targets all clamp
+	// to lb, which would otherwise re-pack up to 5×32 times).
+	tried := make(map[soc.Cycles]bool)
 	try := func(budget soc.Cycles) bool {
 		if budget < lb {
 			budget = lb
 		}
+		if tried[budget] {
+			return false
+		}
+		tried[budget] = true
 		improved := false
 		for _, ord := range []order{byWidth, byTime, byArea} {
-			sch := packOnce(shapes, totalWidth, budget, ord)
+			sch := packOnce(shapes, totalWidth, budget, ord, ceiling)
 			if best == nil || sch.Makespan < best.Makespan {
 				best = sch
 				improved = true
@@ -250,7 +323,7 @@ func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
 		return improved
 	}
 	for _, mult := range opt.budgets() {
-		try(soc.Cycles(float64(lb) * mult))
+		try(scaleCycles(lb, mult))
 	}
 	// Budget refinement: re-shape the rectangles against the best
 	// achieved makespan — the papers' iterative T adjustment. Each round
@@ -258,7 +331,7 @@ func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
 	for iter := 0; iter < 32; iter++ {
 		improved := false
 		for _, f := range []float64{0.80, 0.86, 0.91, 0.95, 0.98} {
-			if try(soc.Cycles(float64(best.Makespan) * f)) {
+			if try(scaleCycles(best.Makespan, f)) {
 				improved = true
 			}
 		}
@@ -273,7 +346,24 @@ func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
 		return best.Rects[i].Wire < best.Rects[j].Wire
 	})
 	best.Bound = lb
+	best.MaxPower = ceiling
 	return best, nil
+}
+
+// scaleCycles returns c scaled by mult, saturating instead of
+// overflowing and never landing below c for mult >= 1 — float64 cannot
+// represent cycle counts beyond 2^53 exactly, so the naive conversion
+// could round a scaled budget underneath the lower bound it came from.
+func scaleCycles(c soc.Cycles, mult float64) soc.Cycles {
+	f := float64(c) * mult
+	if f >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	out := soc.Cycles(f)
+	if mult >= 1 && out < c {
+		out = c
+	}
+	return out
 }
 
 // order selects the placement order of the budget-shaped rectangles.
@@ -296,7 +386,13 @@ const (
 // idle area under the rectangle, on ties) — a core that must start late
 // compensates by going wider, which is the point of packing. When no
 // shape meets the budget the earliest finish over all shapes is taken.
-func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order) *Schedule {
+//
+// Under a power ceiling (> 0) every candidate start is pushed to the
+// earliest instant at which the already-placed rectangles leave enough
+// power headroom for the whole test, so no position that would breach
+// the ceiling is ever considered. With ceiling 0 the placement is
+// bit-for-bit the power-oblivious one.
+func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order, ceiling int) *Schedule {
 	seq := make([]int, len(shapes))
 	for i := range seq {
 		seq[i] = i
@@ -326,6 +422,10 @@ func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order) 
 
 	avail := make([]soc.Cycles, totalWidth)
 	sch := &Schedule{TotalWidth: totalWidth}
+	// prof is the committed placements' concurrent-power profile as a
+	// sorted event list, maintained incrementally so the inner placement
+	// loop never sorts or allocates.
+	var prof []soc.PowerEvent
 	for _, idx := range seq {
 		sh := &shapes[idx]
 		var fit Rect // narrowest in-budget placement
@@ -343,6 +443,9 @@ func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order) 
 					if avail[x] > start {
 						start = avail[x]
 					}
+				}
+				if ceiling > 0 {
+					start = earliestPowerStart(prof, ceiling, sh.power, start, t)
 				}
 				var waste int64
 				for x := at; x < at+w; x++ {
@@ -367,7 +470,12 @@ func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order) 
 		if fitWaste < 0 {
 			bestRect = fallback
 		}
+		bestRect.Power = sh.power
 		sch.Rects = append(sch.Rects, bestRect)
+		if ceiling > 0 && bestRect.Power > 0 && bestRect.Duration() > 0 {
+			prof = insertEvent(prof, soc.PowerEvent{At: bestRect.Start, Delta: bestRect.Power})
+			prof = insertEvent(prof, soc.PowerEvent{At: bestRect.End, Delta: -bestRect.Power})
+		}
 		for x := bestRect.Wire; x < bestRect.Wire+bestRect.Width; x++ {
 			avail[x] = bestRect.End
 		}
@@ -376,4 +484,120 @@ func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order) 
 		}
 	}
 	return sch
+}
+
+// earliestPowerStart returns the earliest start >= from at which a test
+// drawing power units for dur cycles keeps the committed profile plus
+// itself within the ceiling. Only from itself and the committed end
+// times need checking: the window's overlap set (and hence its power
+// peak) can only shrink when the window's leading edge crosses an end
+// event. A feasible start always exists — after the last committed
+// rectangle ends the profile is zero, and Pack rejects single cores
+// above the ceiling up front. prof must be sorted (see insertEvent);
+// its end events are therefore visited in increasing time order, so the
+// first feasible candidate is the earliest.
+func earliestPowerStart(prof []soc.PowerEvent, ceiling, power int, from soc.Cycles, dur soc.Cycles) soc.Cycles {
+	if power == 0 || dur == 0 {
+		return from
+	}
+	if windowPeak(prof, from, from+dur)+power <= ceiling {
+		return from
+	}
+	for _, e := range prof {
+		if e.Delta >= 0 || e.At <= from {
+			continue
+		}
+		if windowPeak(prof, e.At, e.At+dur)+power <= ceiling {
+			return e.At
+		}
+	}
+	return from // unreachable: the last end event always fits
+}
+
+// windowPeak returns the peak of the sorted event profile over the
+// half-open window [from, to): the profile level at from, then every
+// level change strictly inside the window.
+func windowPeak(prof []soc.PowerEvent, from, to soc.Cycles) int {
+	cur := 0
+	i := 0
+	for ; i < len(prof) && prof[i].At <= from; i++ {
+		cur += prof[i].Delta
+	}
+	peak := cur
+	for ; i < len(prof) && prof[i].At < to; i++ {
+		cur += prof[i].Delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// insertEvent inserts e into the profile, keeping soc.SortPowerEvents
+// order (time ascending, downward steps first at equal times).
+func insertEvent(prof []soc.PowerEvent, e soc.PowerEvent) []soc.PowerEvent {
+	i := sort.Search(len(prof), func(k int) bool {
+		if prof[k].At != e.At {
+			return prof[k].At > e.At
+		}
+		return prof[k].Delta >= e.Delta
+	})
+	prof = append(prof, soc.PowerEvent{})
+	copy(prof[i+1:], prof[i:])
+	prof[i] = e
+	return prof
+}
+
+// Gantt renders the packing as an ASCII wire-band chart — one row per
+// TAM wire, time left to right, at most cols characters wide. Each
+// rectangle is drawn as a band of '=' across the wires it occupies,
+// labelled on the middle wire of its band where space permits; '.'
+// marks idle wire time.
+func (s *Schedule) Gantt(cols int, nameOf func(core int) string) string {
+	if cols < 10 {
+		cols = 10
+	}
+	if s.Makespan == 0 || s.TotalWidth == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(cols) / float64(s.Makespan)
+	rows := make([][]byte, s.TotalWidth)
+	for i := range rows {
+		rows[i] = make([]byte, cols)
+		for j := range rows[i] {
+			rows[i][j] = '.'
+		}
+	}
+	for i := range s.Rects {
+		r := &s.Rects[i]
+		from := int(float64(r.Start) * scale)
+		to := int(float64(r.End) * scale)
+		if to > cols {
+			to = cols
+		}
+		if to == from && from < cols {
+			to = from + 1
+		}
+		for w := r.Wire; w < r.Wire+r.Width; w++ {
+			for x := from; x < to && x < cols; x++ {
+				rows[w][x] = '='
+			}
+		}
+		label := fmt.Sprintf("%d", r.Core+1)
+		if nameOf != nil {
+			label = nameOf(r.Core)
+		}
+		if to-from >= len(label)+2 {
+			at := from + (to-from-len(label))/2
+			copy(rows[r.Wire+r.Width/2][at:], label)
+		}
+	}
+	var b strings.Builder
+	for w, row := range rows {
+		fmt.Fprintf(&b, "wire %2d |", w)
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%*s makespan: %d cycles\n", 8, "", s.Makespan)
+	return b.String()
 }

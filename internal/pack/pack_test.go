@@ -2,6 +2,7 @@ package pack_test
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"soctam/internal/coopt"
@@ -200,5 +201,166 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 	if err := good.Validate(n); err != nil {
 		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+// powerMini returns miniSOC with power data attached.
+func powerMini() *soc.SOC {
+	s := miniSOC()
+	for i, p := range []int{600, 900, 250, 450, 120, 800} {
+		s.Cores[i].Power = p
+	}
+	return s
+}
+
+// TestPackPowerConstrained checks the tentpole property on both SOCs:
+// every power-constrained packing validates against its ceiling, and the
+// ceiling is genuinely binding (the unconstrained peak exceeds it).
+func TestPackPowerConstrained(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		s        *soc.SOC
+		widths   []int
+		ceilings []int
+	}{
+		{"mini", powerMini(), []int{8, 16, 24}, []int{1500, 1000}},
+		{"d695", socdata.D695(), []int{16, 32, 64}, []int{2500, 1800, 1200}},
+	} {
+		for _, w := range tc.widths {
+			free, err := pack.Pack(tc.s, w, pack.Options{})
+			if err != nil {
+				t.Fatalf("%s W=%d unconstrained: %v", tc.name, w, err)
+			}
+			for _, ceiling := range tc.ceilings {
+				sch, err := pack.Pack(tc.s, w, pack.Options{MaxPower: ceiling})
+				if err != nil {
+					t.Fatalf("%s W=%d Pmax=%d: %v", tc.name, w, ceiling, err)
+				}
+				if sch.MaxPower != ceiling {
+					t.Errorf("%s W=%d: schedule ceiling %d, want %d", tc.name, w, sch.MaxPower, ceiling)
+				}
+				if err := sch.Validate(len(tc.s.Cores)); err != nil {
+					t.Errorf("%s W=%d Pmax=%d: invalid: %v", tc.name, w, ceiling, err)
+				}
+				if peak := sch.PeakPower(); peak > ceiling {
+					t.Errorf("%s W=%d Pmax=%d: peak %d above ceiling", tc.name, w, ceiling, peak)
+				}
+				if free.PeakPower() > ceiling && sch.Makespan < free.Makespan {
+					t.Errorf("%s W=%d Pmax=%d: constrained makespan %d beats unconstrained %d",
+						tc.name, w, ceiling, sch.Makespan, free.Makespan)
+				}
+			}
+		}
+	}
+}
+
+// TestPackPowerGeometryUnchangedWhenUnconstrained pins the bit-for-bit
+// guarantee at the placement level: with ceiling 0 the packer must place
+// exactly the same rectangles whether or not the cores carry power data.
+func TestPackPowerGeometryUnchangedWhenUnconstrained(t *testing.T) {
+	withPower, err := pack.Pack(powerMini(), 16, pack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := pack.Pack(miniSOC(), 16, pack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withPower.Rects) != len(without.Rects) {
+		t.Fatalf("%d rects with power, %d without", len(withPower.Rects), len(without.Rects))
+	}
+	for i := range withPower.Rects {
+		a, b := withPower.Rects[i], without.Rects[i]
+		a.Power = 0
+		if a != b {
+			t.Errorf("rect %d differs: %+v vs %+v", i, withPower.Rects[i], b)
+		}
+	}
+	if withPower.Makespan != without.Makespan || withPower.Bound != without.Bound {
+		t.Errorf("makespan/bound differ: %d/%d vs %d/%d",
+			withPower.Makespan, withPower.Bound, without.Makespan, without.Bound)
+	}
+}
+
+// TestPackPowerInfeasible pins the up-front rejection of a ceiling no
+// single core fits under.
+func TestPackPowerInfeasible(t *testing.T) {
+	if _, err := pack.Pack(powerMini(), 16, pack.Options{MaxPower: 100}); err == nil {
+		t.Error("ceiling below a single core's power accepted")
+	}
+}
+
+// TestPackValidateCatchesPowerBreach builds a deliberately breaching
+// schedule and checks Validate rejects it.
+func TestPackValidateCatchesPowerBreach(t *testing.T) {
+	sch := &pack.Schedule{
+		TotalWidth: 4,
+		Rects: []pack.Rect{
+			{Core: 0, Wire: 0, Width: 2, Start: 0, End: 100, Power: 700},
+			{Core: 1, Wire: 2, Width: 2, Start: 0, End: 100, Power: 700},
+		},
+		Makespan: 100,
+		MaxPower: 1000,
+	}
+	if err := sch.Validate(2); err == nil {
+		t.Error("peak 1400 accepted under ceiling 1000")
+	}
+	if got := sch.PeakPower(); got != 1400 {
+		t.Errorf("PeakPower = %d, want 1400", got)
+	}
+	// Back-to-back tests are not concurrent: shifting one after the
+	// other must pass.
+	sch.Rects[1].Start, sch.Rects[1].End = 100, 200
+	sch.Makespan = 200
+	if err := sch.Validate(2); err != nil {
+		t.Errorf("serial schedule rejected: %v", err)
+	}
+	if got := sch.PeakPower(); got != 700 {
+		t.Errorf("serial PeakPower = %d, want 700", got)
+	}
+}
+
+// TestScaleCycles pins the precision guard of the budget sweep: scaled
+// budgets saturate instead of overflowing and never land below the
+// input for multipliers >= 1, even beyond float64's exact-integer range.
+func TestScaleCycles(t *testing.T) {
+	huge := soc.Cycles(1)<<62 + 12345
+	if got := pack.ScaleCycles(huge, 1.0); got < huge {
+		t.Errorf("ScaleCycles(%d, 1.0) = %d, below input", huge, got)
+	}
+	if got := pack.ScaleCycles(huge, 2.0); got != 1<<63-1 {
+		t.Errorf("ScaleCycles(%d, 2.0) = %d, want MaxInt64 saturation", huge, got)
+	}
+	if got := pack.ScaleCycles(1000, 1.5); got != 1500 {
+		t.Errorf("ScaleCycles(1000, 1.5) = %d, want 1500", got)
+	}
+	if got := pack.ScaleCycles(1000, 0.8); got != 800 {
+		t.Errorf("ScaleCycles(1000, 0.8) = %d, want 800", got)
+	}
+}
+
+// TestPackGantt sanity-checks the wire-band chart: one row per wire,
+// every row boxed, the makespan line present.
+func TestPackGantt(t *testing.T) {
+	s := powerMini()
+	sch, err := pack.Pack(s, 8, pack.Options{MaxPower: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sch.Gantt(60, func(core int) string { return s.Cores[core].Name })
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != sch.TotalWidth+1 {
+		t.Fatalf("Gantt has %d lines, want %d wire rows + makespan", len(lines), sch.TotalWidth+1)
+	}
+	for i := 0; i < sch.TotalWidth; i++ {
+		if !strings.HasPrefix(lines[i], "wire ") || !strings.HasSuffix(lines[i], "|") {
+			t.Errorf("row %d malformed: %q", i, lines[i])
+		}
+	}
+	if !strings.Contains(lines[len(lines)-1], "makespan") {
+		t.Errorf("missing makespan line: %q", lines[len(lines)-1])
+	}
+	if !strings.Contains(out, "mem") {
+		t.Errorf("no core label rendered:\n%s", out)
 	}
 }

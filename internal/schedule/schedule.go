@@ -31,6 +31,9 @@ type Slot struct {
 	// UsedWires is how many of the TAM's wires the core's wrapper
 	// actually consumes.
 	UsedWires int
+	// Power is the test power the core draws while the slot runs (0
+	// when the SOC carries no power data).
+	Power int
 }
 
 // Duration returns the slot length in cycles.
@@ -66,6 +69,7 @@ func Build(s *soc.SOC, partition []int, tamOf []int) (*Timeline, error) {
 		core  int
 		time  soc.Cycles
 		wires int
+		power int
 	}
 	perTAM := make([][]coreTest, len(partition))
 	for i := range s.Cores {
@@ -77,7 +81,7 @@ func Build(s *soc.SOC, partition []int, tamOf []int) (*Timeline, error) {
 		if err != nil {
 			return nil, fmt.Errorf("schedule: core %d: %w", i+1, err)
 		}
-		perTAM[j] = append(perTAM[j], coreTest{core: i, time: d.Time, wires: d.UsedWidth()})
+		perTAM[j] = append(perTAM[j], coreTest{core: i, time: d.Time, wires: d.UsedWidth(), power: s.Cores[i].Power})
 	}
 	tl := &Timeline{Partition: append([]int(nil), partition...)}
 	for j, tests := range perTAM {
@@ -95,6 +99,7 @@ func Build(s *soc.SOC, partition []int, tamOf []int) (*Timeline, error) {
 				Start:     clock,
 				End:       clock + ct.time,
 				UsedWires: ct.wires,
+				Power:     ct.power,
 			})
 			clock += ct.time
 		}
@@ -116,6 +121,63 @@ func (tl *Timeline) TAMFinish() []soc.Cycles {
 	return finish
 }
 
+// PowerStep is one piece of a piecewise-constant power profile: the SOC
+// draws Power test-power units over the cycles [Start, End).
+type PowerStep struct {
+	Start, End soc.Cycles
+	Power      int
+}
+
+// PowerProfile returns the per-cycle power accounting of the timeline as
+// a piecewise-constant profile covering [0, Makespan), gaps included.
+// Slots drawing zero power (no power data) contribute nothing; tests
+// meeting at an instant never count as concurrent.
+func (tl *Timeline) PowerProfile() []PowerStep {
+	events := make([]soc.PowerEvent, 0, 2*len(tl.Slots))
+	for i := range tl.Slots {
+		s := &tl.Slots[i]
+		if s.Power == 0 || s.Duration() == 0 {
+			continue
+		}
+		events = append(events, soc.PowerEvent{At: s.Start, Delta: s.Power},
+			soc.PowerEvent{At: s.End, Delta: -s.Power})
+	}
+	soc.SortPowerEvents(events)
+	var steps []PowerStep
+	cur := 0
+	var at soc.Cycles
+	for k := 0; k < len(events); {
+		next := events[k].At
+		if next > at {
+			steps = append(steps, PowerStep{Start: at, End: next, Power: cur})
+		}
+		for k < len(events) && events[k].At == next {
+			cur += events[k].Delta
+			k++
+		}
+		at = next
+	}
+	if at < tl.Makespan {
+		steps = append(steps, PowerStep{Start: at, End: tl.Makespan, Power: cur})
+	}
+	return steps
+}
+
+// PeakPower returns the maximum summed test power of concurrently
+// running tests anywhere in the timeline.
+func (tl *Timeline) PeakPower() int {
+	events := make([]soc.PowerEvent, 0, 2*len(tl.Slots))
+	for i := range tl.Slots {
+		s := &tl.Slots[i]
+		if s.Power == 0 || s.Duration() == 0 {
+			continue
+		}
+		events = append(events, soc.PowerEvent{At: s.Start, Delta: s.Power},
+			soc.PowerEvent{At: s.End, Delta: -s.Power})
+	}
+	return soc.PeakConcurrent(events)
+}
+
 // Utilization quantifies how well the architecture keeps its TAM wires
 // busy over the whole testing session.
 type Utilization struct {
@@ -132,6 +194,9 @@ type Utilization struct {
 	// wrapper uses fewer wires than its TAM provides — the paper's
 	// "unnecessary (idle) TAM wires assigned to cores".
 	WrapperIdle int64
+	// PeakPower is the maximum summed test power of concurrently running
+	// tests (0 when the SOC carries no power data).
+	PeakPower int
 }
 
 // BusyFraction returns BusyWireCycles / TotalWireCycles (0 when the
@@ -156,6 +221,7 @@ func (tl *Timeline) Utilize() Utilization {
 		u.BusyWireCycles += dur * int64(s.UsedWires)
 		u.WrapperIdle += dur * int64(tl.Partition[s.TAM]-s.UsedWires)
 	}
+	u.PeakPower = tl.PeakPower()
 	return u
 }
 

@@ -185,3 +185,83 @@ func TestEmptyGantt(t *testing.T) {
 		t.Errorf("empty schedule rendering: %q", out)
 	}
 }
+
+// powerSOC is a hand-sized SOC with power data whose schedule shape on
+// one TAM per core is easy to reason about.
+func powerSOC() *soc.SOC {
+	return &soc.SOC{Name: "pw", Cores: []soc.Core{
+		{Name: "a", Inputs: 8, Outputs: 8, Patterns: 40, ScanChains: []int{16, 16}, Power: 600},
+		{Name: "b", Inputs: 8, Outputs: 8, Patterns: 30, ScanChains: []int{12}, Power: 400},
+		{Name: "c", Inputs: 4, Outputs: 4, Patterns: 20, Power: 300},
+	}}
+}
+
+func TestPowerProfile(t *testing.T) {
+	s := powerSOC()
+	// One TAM per core: all three tests start at cycle 0 in parallel.
+	tl, err := Build(s, []int{4, 4, 4}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	steps := tl.PowerProfile()
+	if len(steps) == 0 {
+		t.Fatal("empty power profile")
+	}
+	if steps[0].Start != 0 || steps[0].Power != 600+400+300 {
+		t.Errorf("first step = %+v, want start 0 power 1300", steps[0])
+	}
+	if got := tl.PeakPower(); got != 1300 {
+		t.Errorf("PeakPower = %d, want 1300", got)
+	}
+	// The profile must cover [0, makespan) contiguously and end at 0...
+	// makespan with the last test's power.
+	var at soc.Cycles
+	for _, st := range steps {
+		if st.Start != at || st.End <= st.Start {
+			t.Fatalf("profile not contiguous at %+v (expected start %d)", st, at)
+		}
+		at = st.End
+	}
+	if at != tl.Makespan {
+		t.Errorf("profile ends at %d, makespan %d", at, tl.Makespan)
+	}
+	if u := tl.Utilize(); u.PeakPower != 1300 {
+		t.Errorf("Utilize().PeakPower = %d, want 1300", u.PeakPower)
+	}
+}
+
+func TestPowerProfileSerial(t *testing.T) {
+	s := powerSOC()
+	// Everything on one TAM: tests run serially, so the peak is the
+	// largest single core power and the profile steps down between tests.
+	tl, err := Build(s, []int{8}, []int{0, 0, 0})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := tl.PeakPower(); got != 600 {
+		t.Errorf("serial PeakPower = %d, want 600", got)
+	}
+	for _, st := range tl.PowerProfile() {
+		if st.Power != 600 && st.Power != 400 && st.Power != 300 {
+			t.Errorf("serial profile has concurrent power %d", st.Power)
+		}
+	}
+}
+
+func TestPowerProfileNoData(t *testing.T) {
+	s := powerSOC()
+	for i := range s.Cores {
+		s.Cores[i].Power = 0
+	}
+	tl, err := Build(s, []int{4, 4}, []int{0, 1, 0})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := tl.PeakPower(); got != 0 {
+		t.Errorf("PeakPower without power data = %d, want 0", got)
+	}
+	steps := tl.PowerProfile()
+	if len(steps) != 1 || steps[0].Power != 0 || steps[0].Start != 0 || steps[0].End != tl.Makespan {
+		t.Errorf("power-free profile = %+v, want one zero step over the whole makespan", steps)
+	}
+}

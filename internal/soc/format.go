@@ -13,13 +13,16 @@ import (
 //
 //	# comment
 //	soc d695
-//	core c6288 inputs 32 outputs 32 patterns 12
-//	core s9234 inputs 36 outputs 39 patterns 105 scan 54 54 52 51
+//	maxpower 1800
+//	core c6288 inputs 32 outputs 32 patterns 12 power 660
+//	core s9234 inputs 36 outputs 39 patterns 105 power 275 scan 54 54 52 51
 //	core ram1  inputs 52 outputs 52 bidirs 0 patterns 1024
 //
-// The "soc" line must come first (after comments/blank lines). Each "core"
-// line names a core followed by key/value attributes; the "scan" keyword
-// consumes all remaining fields on the line as chain lengths.
+// The "soc" line must come first (after comments/blank lines). An
+// optional "maxpower" line sets the SOC-level peak-power ceiling. Each
+// "core" line names a core followed by key/value attributes ("power" is
+// the core's test power draw); the "scan" keyword consumes all remaining
+// fields on the line as chain lengths.
 
 // Parse reads an SOC from r in the .soc text format.
 func Parse(r io.Reader) (*SOC, error) {
@@ -27,6 +30,8 @@ func Parse(r io.Reader) (*SOC, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var s *SOC
 	lineNo := 0
+	nameLine := map[string]int{} // core name -> defining line, for duplicate reports
+	maxPowerLine := 0            // line of the maxpower directive, for duplicate reports
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -46,6 +51,22 @@ func Parse(r io.Reader) (*SOC, error) {
 				return nil, fmt.Errorf("soc: line %d: want \"soc <name>\", got %d fields", lineNo, len(fields))
 			}
 			s = &SOC{Name: fields[1]}
+		case "maxpower":
+			if s == nil {
+				return nil, fmt.Errorf("soc: line %d: maxpower before soc declaration", lineNo)
+			}
+			if maxPowerLine > 0 {
+				return nil, fmt.Errorf("soc: line %d: duplicate maxpower directive (first on line %d)", lineNo, maxPowerLine)
+			}
+			maxPowerLine = lineNo
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("soc: line %d: want \"maxpower <ceiling>\", got %d fields", lineNo, len(fields))
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("soc: line %d: bad peak-power ceiling %q", lineNo, fields[1])
+			}
+			s.MaxPower = v
 		case "core":
 			if s == nil {
 				return nil, fmt.Errorf("soc: line %d: core before soc declaration", lineNo)
@@ -54,6 +75,10 @@ func Parse(r io.Reader) (*SOC, error) {
 			if err != nil {
 				return nil, fmt.Errorf("soc: line %d: %w", lineNo, err)
 			}
+			if first, dup := nameLine[c.Name]; dup {
+				return nil, fmt.Errorf("soc: line %d: duplicate core name %q (first defined on line %d)", lineNo, c.Name, first)
+			}
+			nameLine[c.Name] = lineNo
 			s.Cores = append(s.Cores, c)
 		default:
 			return nil, fmt.Errorf("soc: line %d: unknown directive %q", lineNo, fields[0])
@@ -115,6 +140,8 @@ func parseCore(fields []string) (Core, error) {
 			c.Bidirs = v
 		case "patterns":
 			c.Patterns = v
+		case "power":
+			c.Power = v
 		default:
 			return c, fmt.Errorf("core %q: unknown attribute %q", c.Name, key)
 		}
@@ -128,17 +155,36 @@ func parseCore(fields []string) (Core, error) {
 func (s *SOC) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "soc %s\n", s.Name)
+	if s.MaxPower != 0 {
+		fmt.Fprintf(bw, "maxpower %d\n", s.MaxPower)
+	}
+	// Names synthesized for unnamed cores must not collide with explicit
+	// names (a core literally called "core2", say), or the output would
+	// trip Parse's duplicate rejection and break the round trip.
+	taken := make(map[string]bool, len(s.Cores))
+	for i := range s.Cores {
+		if n := s.Cores[i].Name; n != "" {
+			taken[n] = true
+		}
+	}
 	for i := range s.Cores {
 		c := &s.Cores[i]
 		name := c.Name
 		if name == "" {
 			name = fmt.Sprintf("core%d", i+1)
+			for n := len(s.Cores) + 1; taken[name]; n++ {
+				name = fmt.Sprintf("core%d", n)
+			}
+			taken[name] = true
 		}
 		fmt.Fprintf(bw, "core %s inputs %d outputs %d", name, c.Inputs, c.Outputs)
 		if c.Bidirs != 0 {
 			fmt.Fprintf(bw, " bidirs %d", c.Bidirs)
 		}
 		fmt.Fprintf(bw, " patterns %d", c.Patterns)
+		if c.Power != 0 {
+			fmt.Fprintf(bw, " power %d", c.Power)
+		}
 		if len(c.ScanChains) > 0 {
 			fmt.Fprint(bw, " scan")
 			for _, l := range c.ScanChains {

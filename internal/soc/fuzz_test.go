@@ -1,0 +1,34 @@
+package soc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseEncodeRoundTrip asserts the Encode contract on arbitrary
+// input: anything Parse accepts must encode to text that re-parses to
+// the same SOC. Core names with whitespace or '#' cannot be produced by
+// Parse (Fields and the comment stripper remove them), and Validate
+// rejects them on hand-built SOCs, so the contract is total.
+func FuzzParseEncodeRoundTrip(f *testing.F) {
+	f.Add("soc d695\nmaxpower 1800\ncore a inputs 1 patterns 2 power 660 scan 4 5\n")
+	f.Add("soc x\ncore core1 inputs 1\ncore c2 outputs 3 bidirs 1 patterns 9\n")
+	f.Add("soc x # c\n# comment\ncore a inputs 1 power 7\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse returned invalid SOC: %v", err)
+		}
+		encoded := s.EncodeString()
+		back, err := ParseString(encoded)
+		if err != nil {
+			t.Fatalf("re-parse of encoded output failed: %v\nencoded:\n%s", err, encoded)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip changed the SOC:\nfirst:  %+v\nsecond: %+v\nencoded:\n%s", s, back, encoded)
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"slices"
 	"strings"
+	"unicode"
 )
 
 // Cycles counts test clock cycles. Testing times routinely reach millions
@@ -41,6 +42,11 @@ type Core struct {
 	// scan chains are fixed-length: they cannot be split across wrapper
 	// scan chains.
 	ScanChains []int
+	// Power is the test power the core draws while its test runs, in
+	// arbitrary power units (the power-constrained scheduling literature
+	// uses mW). 0 means no power data: the core is invisible to any
+	// peak-power ceiling.
+	Power int
 }
 
 // InputCells returns the number of wrapper cells on the scan-in side
@@ -114,7 +120,16 @@ func (c *Core) Clone() Core {
 }
 
 // Validate reports the first structural problem with the core, or nil.
+// A core name containing whitespace or '#' is rejected: Encode emits the
+// name as one field of a line-oriented format, so such a name could not
+// round-trip through Parse.
 func (c *Core) Validate() error {
+	for _, r := range c.Name {
+		if unencodableNameRune(r) {
+			return fmt.Errorf("soc: core %q: name contains %q (whitespace and '#' cannot round-trip the .soc format)",
+				c.Name, r)
+		}
+	}
 	switch {
 	case c.Inputs < 0:
 		return fmt.Errorf("soc: core %q: negative input count %d", c.Name, c.Inputs)
@@ -124,6 +139,8 @@ func (c *Core) Validate() error {
 		return fmt.Errorf("soc: core %q: negative bidir count %d", c.Name, c.Bidirs)
 	case c.Patterns < 0:
 		return fmt.Errorf("soc: core %q: negative pattern count %d", c.Name, c.Patterns)
+	case c.Power < 0:
+		return fmt.Errorf("soc: core %q: negative test power %d", c.Name, c.Power)
 	}
 	for i, l := range c.ScanChains {
 		if l <= 0 {
@@ -136,31 +153,54 @@ func (c *Core) Validate() error {
 	return nil
 }
 
+// unencodableNameRune reports whether a rune in a core name would break
+// the Encode→Parse round trip: Fields would split the name on whitespace,
+// and '#' starts a comment.
+func unencodableNameRune(r rune) bool { return unicode.IsSpace(r) || r == '#' }
+
 // SOC is a system-on-chip: a named collection of embedded cores.
 type SOC struct {
 	Name  string
 	Cores []Core
+	// MaxPower is the SOC-level peak-power ceiling: the summed test power
+	// of concurrently running tests must never exceed it. 0 means
+	// unconstrained.
+	MaxPower int
 }
 
 // ErrNoCores is returned by Validate for an SOC without any cores.
 var ErrNoCores = errors.New("soc: SOC has no cores")
 
-// Validate checks the SOC and every core in it.
+// Validate checks the SOC and every core in it. Duplicate (non-empty)
+// core names are rejected: they make name-keyed output and lookups
+// ambiguous, and the .soc format could not distinguish the cores.
 func (s *SOC) Validate() error {
 	if len(s.Cores) == 0 {
 		return ErrNoCores
 	}
+	if s.MaxPower < 0 {
+		return fmt.Errorf("soc: SOC %q: negative peak-power ceiling %d", s.Name, s.MaxPower)
+	}
+	seen := make(map[string]int, len(s.Cores))
 	for i := range s.Cores {
 		if err := s.Cores[i].Validate(); err != nil {
 			return fmt.Errorf("core %d: %w", i+1, err)
 		}
+		name := s.Cores[i].Name
+		if name == "" {
+			continue
+		}
+		if first, dup := seen[name]; dup {
+			return fmt.Errorf("soc: cores %d and %d share the name %q", first+1, i+1, name)
+		}
+		seen[name] = i
 	}
 	return nil
 }
 
 // Clone returns a deep copy of the SOC.
 func (s *SOC) Clone() *SOC {
-	d := &SOC{Name: s.Name, Cores: make([]Core, len(s.Cores))}
+	d := &SOC{Name: s.Name, Cores: make([]Core, len(s.Cores)), MaxPower: s.MaxPower}
 	for i := range s.Cores {
 		d.Cores[i] = s.Cores[i].Clone()
 	}

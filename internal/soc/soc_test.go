@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -63,6 +64,13 @@ func TestCoreValidate(t *testing.T) {
 		{"zero-length chain", Core{Inputs: 1, ScanChains: []int{4, 0}}, false},
 		{"negative chain", Core{Inputs: 1, ScanChains: []int{-4}}, false},
 		{"patterns without resources", Core{Patterns: 3}, false},
+		{"power ok", Core{Name: "p", Inputs: 1, Patterns: 1, Power: 660}, true},
+		{"negative power", Core{Inputs: 1, Power: -1}, false},
+		{"name with space", Core{Name: "a b", Inputs: 1}, false},
+		{"name with tab", Core{Name: "a\tb", Inputs: 1}, false},
+		{"name with newline", Core{Name: "a\nb", Inputs: 1}, false},
+		{"name with hash", Core{Name: "a#b", Inputs: 1}, false},
+		{"name with nbsp", Core{Name: "a b", Inputs: 1}, false},
 	}
 	for _, tc := range cases {
 		err := tc.c.Validate()
@@ -80,6 +88,38 @@ func TestSOCValidate(t *testing.T) {
 	s.Cores = []Core{{Inputs: 1, Patterns: 1}, {Patterns: -1}}
 	if err := s.Validate(); err == nil {
 		t.Error("SOC with bad core: Validate() = nil, want error")
+	}
+}
+
+func TestSOCValidateDuplicateNames(t *testing.T) {
+	s := &SOC{Name: "dup", Cores: []Core{
+		{Name: "a", Inputs: 1},
+		{Name: "b", Inputs: 1},
+		{Name: "a", Inputs: 2},
+	}}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("duplicate core names accepted")
+	}
+	if !strings.Contains(err.Error(), `"a"`) {
+		t.Errorf("duplicate error %q does not name the core", err)
+	}
+	// Unnamed cores may repeat: they are not addressable by name and
+	// Encode synthesizes distinct names for them.
+	s = &SOC{Name: "anon", Cores: []Core{{Inputs: 1}, {Inputs: 2}}}
+	if err := s.Validate(); err != nil {
+		t.Errorf("two unnamed cores rejected: %v", err)
+	}
+}
+
+func TestSOCValidateMaxPower(t *testing.T) {
+	s := &SOC{Name: "p", Cores: []Core{{Name: "a", Inputs: 1}}, MaxPower: -5}
+	if err := s.Validate(); err == nil {
+		t.Error("negative MaxPower accepted")
+	}
+	s.MaxPower = 1800
+	if err := s.Validate(); err != nil {
+		t.Errorf("positive MaxPower rejected: %v", err)
 	}
 }
 
@@ -147,10 +187,45 @@ func TestParseErrors(t *testing.T) {
 		{"bad scan length", "soc a\ncore c inputs 1 scan 4 x"},
 		{"negative value", "soc a\ncore c inputs -3"},
 		{"zero chain", "soc a\ncore c inputs 1 scan 0"},
+		{"negative power", "soc a\ncore c inputs 1 power -2"},
+		{"maxpower before soc", "maxpower 100\nsoc a\ncore c inputs 1"},
+		{"maxpower no value", "soc a\nmaxpower\ncore c inputs 1"},
+		{"maxpower bad value", "soc a\nmaxpower watts\ncore c inputs 1"},
+		{"maxpower negative", "soc a\nmaxpower -1\ncore c inputs 1"},
+		{"duplicate maxpower", "soc a\nmaxpower 1800\nmaxpower 2500\ncore c inputs 1"},
+		{"duplicate core name", "soc a\ncore c inputs 1\ncore c inputs 2"},
 	}
 	for _, tc := range cases {
 		if _, err := ParseString(tc.text); err == nil {
 			t.Errorf("%s: ParseString succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestParsePower(t *testing.T) {
+	s, err := ParseString("soc p\nmaxpower 1800\ncore a inputs 1 patterns 2 power 660\ncore b inputs 1 patterns 3 power 275 scan 8 8\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if s.MaxPower != 1800 {
+		t.Errorf("MaxPower = %d, want 1800", s.MaxPower)
+	}
+	if s.Cores[0].Power != 660 || s.Cores[1].Power != 275 {
+		t.Errorf("core powers = %d, %d, want 660, 275", s.Cores[0].Power, s.Cores[1].Power)
+	}
+	if !reflect.DeepEqual(s.Cores[1].ScanChains, []int{8, 8}) {
+		t.Errorf("power attribute broke scan parsing: %+v", s.Cores[1])
+	}
+}
+
+func TestParseDuplicateNameLineNumber(t *testing.T) {
+	_, err := ParseString("soc a\ncore c inputs 1\ncore d inputs 1\ncore c inputs 2\n")
+	if err == nil {
+		t.Fatal("duplicate core name accepted")
+	}
+	for _, want := range []string{"line 4", "line 2", `"c"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("duplicate error %q missing %q", err, want)
 		}
 	}
 }
@@ -168,7 +243,7 @@ func TestParseComments(t *testing.T) {
 // randomSOC builds a structurally valid random SOC for round-trip testing.
 func randomSOC(r *rand.Rand) *SOC {
 	n := 1 + r.Intn(12)
-	s := &SOC{Name: "rt"}
+	s := &SOC{Name: "rt", MaxPower: r.Intn(3000)}
 	for i := 0; i < n; i++ {
 		c := Core{
 			Name:     "c" + string(rune('a'+i)),
@@ -176,6 +251,7 @@ func randomSOC(r *rand.Rand) *SOC {
 			Outputs:  r.Intn(300),
 			Bidirs:   r.Intn(10),
 			Patterns: r.Intn(2000),
+			Power:    r.Intn(1500),
 		}
 		for k := r.Intn(6); k > 0; k-- {
 			c.ScanChains = append(c.ScanChains, 1+r.Intn(500))
@@ -208,6 +284,29 @@ func TestEncodeNamesUnnamedCores(t *testing.T) {
 	}
 	if back.Cores[0].Name != "core1" {
 		t.Errorf("unnamed core encoded as %q, want core1", back.Cores[0].Name)
+	}
+}
+
+func TestEncodeAvoidsNameCollision(t *testing.T) {
+	// An unnamed core at index 1 would synthesize to "core2", which an
+	// explicitly named core already holds; Encode must dodge it or its
+	// own output trips Parse's duplicate rejection.
+	s := &SOC{Name: "x", Cores: []Core{
+		{Name: "core2", Inputs: 1, Patterns: 1},
+		{Inputs: 2, Patterns: 1},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	back, err := ParseString(s.EncodeString())
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if back.Cores[0].Name != "core2" || back.Cores[1].Name == "core2" {
+		t.Errorf("round-trip names = %q, %q; synthesized name collided", back.Cores[0].Name, back.Cores[1].Name)
+	}
+	if back.Cores[1].Inputs != 2 {
+		t.Errorf("unnamed core lost its data: %+v", back.Cores[1])
 	}
 }
 

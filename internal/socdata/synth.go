@@ -63,6 +63,15 @@ type SynthSpec struct {
 	MemPatterns   Range
 	MemIO         Range
 
+	// LogicPower and MemPower are the per-core test power ranges. The
+	// paper publishes no power data, so these are synthesized figures in
+	// the same unit scale the d695 literature uses; zero ranges leave
+	// every core's Power at 0. Powers are drawn from a dedicated RNG
+	// stream so adding them never perturbs the synthesized core
+	// structure.
+	LogicPower Range
+	MemPower   Range
+
 	// BottleneckIndex, if positive, places the largest logic core at this
 	// 1-based position (p31108's "Core 18" whose wrapper staircase floors
 	// the SOC testing time).
@@ -81,6 +90,8 @@ func P21241Spec() SynthSpec {
 		LogicChainLen: Range{1, 400},
 		MemPatterns:   Range{222, 12324},
 		MemIO:         Range{52, 148},
+		LogicPower:    Range{120, 1400},
+		MemPower:      Range{80, 600},
 	}
 }
 
@@ -97,6 +108,8 @@ func P31108Spec() SynthSpec {
 		LogicChainLen: Range{8, 806},
 		MemPatterns:   Range{128, 12236},
 		MemIO:         Range{11, 87},
+		LogicPower:    Range{250, 1600},
+		MemPower:      Range{60, 700},
 
 		BottleneckIndex: 18,
 	}
@@ -114,6 +127,8 @@ func P93791Spec() SynthSpec {
 		LogicChainLen: Range{1, 521},
 		MemPatterns:   Range{42, 3085},
 		MemIO:         Range{21, 396},
+		LogicPower:    Range{100, 1800},
+		MemPower:      Range{50, 900},
 	}
 }
 
@@ -181,10 +196,30 @@ func Synthesize(spec SynthSpec) (*soc.SOC, error) {
 	if err := scaleToComplexity(spec, s, p); err != nil {
 		return nil, err
 	}
+	synthesizePowers(spec, s)
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("socdata: synthesized %q invalid: %w", spec.Name, err)
 	}
 	return s, nil
+}
+
+// synthesizePowers assigns per-core test powers from a dedicated RNG
+// stream: the main stream must not be touched, or every SOC synthesized
+// before powers existed would change shape. Power does not enter the
+// test-data-volume metric, so complexity scaling is unaffected too.
+func synthesizePowers(spec SynthSpec, s *soc.SOC) {
+	if spec.LogicPower == (Range{}) && spec.MemPower == (Range{}) {
+		return
+	}
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x70776572)) // "pwer"
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		r := spec.LogicPower
+		if !c.ScanTestable() {
+			r = spec.MemPower
+		}
+		c.Power = r.logUniform(rng)
+	}
 }
 
 // pins records which cores carry a pinned range endpoint, by core name.

@@ -13,7 +13,9 @@
 //
 //   - Solve: the unified entry point — the paper's partition flow or the
 //     rectangle bin-packing backend, selected by Options.Strategy, with
-//     partition evaluation parallelized across Options.Workers;
+//     partition evaluation parallelized across Options.Workers and an
+//     optional peak-power ceiling enforced via Options.MaxPower (or the
+//     SOC's own MaxPower);
 //   - CoOptimize: the paper's full flow (Partition_evaluate heuristic +
 //     exact final optimization) for the problem P_NPAW;
 //   - PackRectangles / PackingLowerBound: rectangle bin-packing
@@ -82,6 +84,9 @@ type (
 	TestSlot = schedule.Slot
 	// Utilization is the wire-cycle accounting of a Timeline.
 	Utilization = schedule.Utilization
+	// PowerStep is one piece of a Timeline's piecewise-constant
+	// concurrent-power profile.
+	PowerStep = schedule.PowerStep
 )
 
 // Exact solver choices for Options.FinalSolver.
@@ -161,13 +166,16 @@ func CoOptimize(s *SOC, totalWidth int, opt Options) (Result, error) {
 // PackRectangles co-optimizes the SOC by rectangle bin-packing alone:
 // cores become width×time rectangles placed into the W×T bin, so TAM
 // wires are re-divided between cores over time instead of forming fixed
-// test buses.
+// test buses. A peak-power ceiling recorded on the SOC (MaxPower, the
+// .soc maxpower attribute) is honored; use Solve with Options.MaxPower
+// to impose one ad hoc.
 func PackRectangles(s *SOC, totalWidth int) (*PackingSchedule, error) {
 	return pack.Pack(s, totalWidth, pack.Options{})
 }
 
 // PackingLowerBound returns the rectangle-packing lower bound on the SOC
-// testing time: bin area and longest-single-test arguments combined.
+// testing time: bin area, longest-single-test and (under a power
+// ceiling) test-energy arguments combined.
 func PackingLowerBound(s *SOC, totalWidth int) (Cycles, error) {
 	return pack.LowerBound(s, totalWidth)
 }
