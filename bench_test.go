@@ -253,6 +253,38 @@ func BenchmarkPackingD695(b *testing.B) {
 	b.ReportMetric(float64(last), "cycles")
 }
 
+// BenchmarkDiagonalD695 measures the diagonal-length packing backend
+// (compare against BenchmarkPackingD695 for the budgeted-best-fit one).
+func BenchmarkDiagonalD695(b *testing.B) {
+	s := socdata.D695()
+	b.ReportAllocs()
+	var last soctam.Cycles
+	for i := 0; i < b.N; i++ {
+		res, err := coopt.Solve(s, 32, coopt.Options{Strategy: coopt.StrategyDiagonal})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Time
+	}
+	b.ReportMetric(float64(last), "cycles")
+}
+
+// BenchmarkPortfolioD695 measures the three-way race end to end; the
+// reported cycles are the best of the three backends by construction.
+func BenchmarkPortfolioD695(b *testing.B) {
+	s := socdata.D695()
+	b.ReportAllocs()
+	var last soctam.Cycles
+	for i := 0; i < b.N; i++ {
+		res, err := coopt.Solve(s, 32, coopt.Options{Strategy: coopt.StrategyPortfolio})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Time
+	}
+	b.ReportMetric(float64(last), "cycles")
+}
+
 // BenchmarkPowerConstrained measures the cost of the peak-power ceiling
 // on both backends at the literature's classic 1800-unit operating
 // point (compare against BenchmarkPackingD695 and the partition sweeps

@@ -1,0 +1,104 @@
+// Command doccheck is the repository's documentation gate: it walks the
+// module tree and fails if any non-test Go package lacks a package
+// comment (the godoc paragraph every package must open with — see
+// ARCHITECTURE.md §1 for the package inventory). CI runs it so a new
+// package cannot land undocumented.
+//
+// Usage:
+//
+//	doccheck [dir]
+//
+// dir defaults to ".". The exit status is 1 when at least one package
+// is undocumented, with one line per offender.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	bad, err := undocumented(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if len(bad) > 0 {
+		for _, p := range bad {
+			fmt.Fprintf(os.Stderr, "doccheck: package in %s has no package comment\n", p)
+		}
+		os.Exit(1)
+	}
+}
+
+// undocumented returns the directories under root containing a non-test
+// Go package with no package comment on any of its files.
+func undocumented(root string) ([]string, error) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// testdata holds non-Go fixtures by convention; hidden
+			// directories (.git, .github) never hold Go packages.
+			if name := d.Name(); name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var bad []string
+	for dir := range dirs {
+		ok, err := hasPackageComment(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			bad = append(bad, dir)
+		}
+	}
+	sort.Strings(bad)
+	return bad, nil
+}
+
+// hasPackageComment reports whether any non-test Go file in dir attaches
+// a doc comment to its package clause.
+func hasPackageComment(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoFullyDocumented is the gate itself as a test: every non-test
+// package in this repository must carry a package comment.
+func TestRepoFullyDocumented(t *testing.T) {
+	bad, err := undocumented("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range bad {
+		t.Errorf("package in %s has no package comment", p)
+	}
+}
+
+// TestDetectsMissingComment checks the two sides of the detector on
+// synthetic packages.
+func TestDetectsMissingComment(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("good/doc.go", "// Package good is documented.\npackage good\n")
+	write("good/other.go", "package good\n")
+	write("bad/bad.go", "package bad\n")
+	write("bad/bad_test.go", "// Package bad has only a test comment.\npackage bad\n")
+	write("testdata/ignored.go", "package ignored\n")
+
+	bad, err := undocumented(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || filepath.Base(bad[0]) != "bad" {
+		t.Errorf("undocumented = %v, want just the bad package", bad)
+	}
+}

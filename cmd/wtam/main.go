@@ -9,53 +9,75 @@
 //	wtam -soc chip.soc -width 64 -tams 3
 //	wtam -benchmark p93791 -width 64 -exhaustive -max-tams 3
 //	wtam -benchmark d695 -width 32 -strategy packing
+//	wtam -benchmark d695 -width 32 -strategy portfolio
 //	wtam -benchmark d695 -width 32 -max-power 1800 -gantt
 //	wtam -benchmark p21241 -width 64 -workers 8
 //
 // With -tams 0 (the default) the TAM count is optimized too (problem
 // P_NPAW); a fixed -tams solves P_PAW. -exhaustive switches from the
 // paper's heuristic flow to the exact enumerate-and-solve baseline.
-// -strategy packing replaces the partition flow with rectangle
-// bin-packing co-optimization: wires are re-divided between cores over
-// time instead of forming fixed test buses. -workers parallelizes
-// partition evaluation (0 = all CPUs, 1 = the paper's sequential order).
-// -max-power imposes a peak-power ceiling on concurrently running tests
-// (0 uses the SOC's own maxpower attribute; both backends honor it).
+// -strategy packing (or diagonal) replaces the partition flow with one
+// of the two rectangle bin-packing heuristics: wires are re-divided
+// between cores over time instead of forming fixed test buses.
+// -strategy portfolio races partition, packing and diagonal
+// concurrently and reports the winner with per-backend attribution.
+// -workers parallelizes partition evaluation (0 = all CPUs, 1 = the
+// paper's sequential order). -max-power imposes a peak-power ceiling on
+// concurrently running tests (0 uses the SOC's own maxpower attribute;
+// every backend honors it).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"soctam"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, errBadFlags) {
+			// The FlagSet already printed the parse error and usage;
+			// exit 2 like flag.ExitOnError so scripts can tell usage
+			// errors from runtime failures.
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "wtam:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// errBadFlags marks a flag parse failure the FlagSet already reported.
+var errBadFlags = errors.New("bad flags")
+
+func run(args []string) error {
+	flags := flag.NewFlagSet("wtam", flag.ContinueOnError)
 	var (
-		socPath    = flag.String("soc", "", "path to a .soc file describing the SOC")
-		benchmark  = flag.String("benchmark", "", "built-in benchmark SOC: d695, p21241, p31108 or p93791")
-		width      = flag.Int("width", 32, "total TAM width W (wires available for test access)")
-		tams       = flag.Int("tams", 0, "fixed number of TAMs B (0 = optimize the TAM count too)")
-		maxTAMs    = flag.Int("max-tams", 10, "largest TAM count explored when -tams is 0")
-		exhaustive = flag.Bool("exhaustive", false, "use the exact enumerate-and-solve baseline of [8] instead of the heuristic")
-		useILP     = flag.Bool("ilp", false, "use the ILP engine for exact optimization instead of branch and bound")
-		nodeLimit  = flag.Int64("node-limit", 0, "node budget per exact solve (0 = default)")
-		strategy   = flag.String("strategy", "partition", "co-optimization backend: partition or packing")
-		workers    = flag.Int("workers", 0, "partition-evaluation goroutines (0 = all CPUs, 1 = paper's sequential order)")
-		maxPower   = flag.Int("max-power", 0, "peak-power ceiling on concurrent tests (0 = the SOC's own maxpower, if any)")
-		verbose    = flag.Bool("v", false, "print per-core wrapper usage on the chosen architecture")
-		gantt      = flag.Bool("gantt", false, "print the test schedule as a Gantt chart with utilization")
+		socPath    = flags.String("soc", "", "path to a .soc file describing the SOC")
+		benchmark  = flags.String("benchmark", "", "built-in benchmark SOC: d695, p21241, p31108 or p93791")
+		width      = flags.Int("width", 32, "total TAM width W (wires available for test access)")
+		tams       = flags.Int("tams", 0, "fixed number of TAMs B (0 = optimize the TAM count too)")
+		maxTAMs    = flags.Int("max-tams", 10, "largest TAM count explored when -tams is 0")
+		exhaustive = flags.Bool("exhaustive", false, "use the exact enumerate-and-solve baseline of [8] instead of the heuristic")
+		useILP     = flags.Bool("ilp", false, "use the ILP engine for exact optimization instead of branch and bound")
+		nodeLimit  = flags.Int64("node-limit", 0, "node budget per exact solve (0 = default)")
+		strategy   = flags.String("strategy", "partition", "co-optimization backend: "+strings.Join(soctam.StrategyNames(), ", "))
+		workers    = flags.Int("workers", 0, "partition-evaluation goroutines (0 = all CPUs, 1 = paper's sequential order)")
+		maxPower   = flags.Int("max-power", 0, "peak-power ceiling on concurrent tests (0 = the SOC's own maxpower, if any)")
+		verbose    = flags.Bool("v", false, "print per-core wrapper usage on the chosen architecture")
+		gantt      = flags.Bool("gantt", false, "print the test schedule as a Gantt chart with utilization")
 	)
-	flag.Parse()
+	if err := flags.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h/-help printed the usage; that is success, not an error.
+			return nil
+		}
+		return errBadFlags
+	}
 
 	s, err := loadSOC(*socPath, *benchmark)
 	if err != nil {
@@ -70,40 +92,55 @@ func run() error {
 	if *useILP {
 		opt.FinalSolver = soctam.SolverILP
 	}
-	switch *strategy {
-	case "partition":
-	case "packing":
-		// Packing has no fixed TAMs, no exact step, no partition
+	strat, err := soctam.ParseStrategy(*strategy)
+	if err != nil {
+		// ParseStrategy's error lists every valid strategy name.
+		return err
+	}
+	opt.Strategy = strat
+	switch strat {
+	case soctam.StrategyPartition:
+	case soctam.StrategyPacking, soctam.StrategyDiagonal:
+		// The packers have no fixed TAMs, no exact step, no partition
 		// enumeration: every flag tuning those is silently meaningless,
 		// so reject any the user explicitly set. (-gantt and -max-power
 		// are meaningful: the packed schedule renders as a wire-band
-		// chart and the packer honors the power ceiling.)
-		var unusable []string
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "tams", "exhaustive", "ilp", "node-limit", "max-tams", "workers":
-				unusable = append(unusable, "-"+f.Name)
-			}
-		})
-		if len(unusable) > 0 {
-			return fmt.Errorf("-strategy packing does not use %s (no fixed TAMs, no exact step, no partition enumeration)",
-				strings.Join(unusable, ", "))
+		// chart and the packers honor the power ceiling.)
+		if err := rejectFlags(flags, strat.String(), "no fixed TAMs, no exact step, no partition enumeration",
+			"tams", "exhaustive", "ilp", "node-limit", "max-tams", "workers"); err != nil {
+			return err
 		}
-		opt.Strategy = soctam.StrategyPacking
 		res, err := soctam.Solve(s, *width, opt)
 		if err != nil {
 			return err
 		}
 		return printPacking(s, res, *verbose, *gantt)
-	default:
-		return fmt.Errorf("unknown strategy %q (have partition, packing)", *strategy)
+	case soctam.StrategyPortfolio:
+		// -workers, -max-tams, -ilp and -node-limit tune the partition
+		// racer and pass through; a fixed TAM count and the exhaustive
+		// baseline have no portfolio counterpart.
+		if err := rejectFlags(flags, strat.String(), "the race runs the full P_NPAW flows",
+			"tams", "exhaustive"); err != nil {
+			return err
+		}
+		res, err := soctam.Solve(s, *width, opt)
+		if err != nil {
+			return err
+		}
+		printPortfolio(res)
+		if res.Packing != nil {
+			return printPacking(s, res, *verbose, *gantt)
+		}
+		// The stats note reflects the worker count the partition racer
+		// actually got (the portfolio reserves workers for the packers).
+		return printPartitionResult(s, res, opt.PortfolioPartitionParallel(), false, *verbose, *gantt)
 	}
 
 	if *exhaustive {
 		// The [8] baseline enumerates sequentially; reject an explicit
 		// -workers rather than silently ignoring it.
 		workersSet := false
-		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+		flags.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
 		if workersSet {
 			return fmt.Errorf("-exhaustive does not use -workers (the [8] baseline solves every partition sequentially)")
 		}
@@ -123,7 +160,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	return printPartitionResult(s, res, opt.ParallelEvaluation(), *exhaustive, *verbose, *gantt)
+}
 
+// rejectFlags errors when the user explicitly set a flag the chosen
+// strategy cannot use, naming every offender and the reason.
+func rejectFlags(flags *flag.FlagSet, strategy, reason string, names ...string) error {
+	var unusable []string
+	flags.Visit(func(f *flag.Flag) {
+		for _, n := range names {
+			if f.Name == n {
+				unusable = append(unusable, "-"+n)
+			}
+		}
+	})
+	if len(unusable) > 0 {
+		return fmt.Errorf("-strategy %s does not use %s (%s)", strategy, strings.Join(unusable, ", "), reason)
+	}
+	return nil
+}
+
+// printPartitionResult reports a partition-flow result: the chosen
+// architecture, the evaluation statistics and the optional wrapper and
+// Gantt detail. parallelStats says whether the evaluation that produced
+// Stats ran on a worker pool (its split is then order dependent).
+func printPartitionResult(s *soctam.SOC, res soctam.Result, parallelStats, exhaustive, verbose, gantt bool) error {
 	fmt.Printf("SOC:              %s\n", s)
 	fmt.Printf("total TAM width:  %d\n", res.TotalWidth)
 	fmt.Printf("TAMs:             %d\n", res.NumTAMs)
@@ -133,7 +194,7 @@ func run() error {
 	fmt.Printf("heuristic time:   %d cycles (before final optimization)\n", res.HeuristicTime)
 	fmt.Printf("proven optimal:   %v (for the chosen partition)\n", res.AssignmentOptimal)
 	statsNote := ""
-	if !*exhaustive && opt.ParallelEvaluation() {
+	if !exhaustive && parallelStats {
 		// The completed/pruned split depends on parallel evaluation
 		// order; the chosen partition and times do not.
 		statsNote = " (split varies across runs; -workers 1 makes it deterministic)"
@@ -146,17 +207,39 @@ func run() error {
 	printPower(res)
 	fmt.Printf("elapsed:          %s\n", res.Elapsed)
 
-	if *verbose {
+	if verbose {
 		if err := printWrappers(s, res); err != nil {
 			return err
 		}
 	}
-	if *gantt {
+	if gantt {
 		if err := printGantt(s, res); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// printPortfolio reports the race: one row per backend with its time,
+// wall clock and outcome, the winner starred. The winning backend's
+// full architecture report follows from the caller.
+func printPortfolio(res soctam.Result) {
+	fmt.Println("portfolio race (ties go to the backend listed first):")
+	for _, run := range res.Portfolio {
+		mark := " "
+		if run.Winner {
+			mark = "*"
+		}
+		switch {
+		case run.Cancelled:
+			fmt.Printf("  %s %-10s cancelled (could no longer win)  %s\n", mark, run.Strategy, run.Elapsed.Round(time.Microsecond))
+		case run.Err != "":
+			fmt.Printf("  %s %-10s failed: %s\n", mark, run.Strategy, run.Err)
+		default:
+			fmt.Printf("  %s %-10s %d cycles  %s\n", mark, run.Strategy, run.Time, run.Elapsed.Round(time.Microsecond))
+		}
+	}
+	fmt.Println()
 }
 
 // printPacking reports a rectangle bin-packing result: one row per

@@ -1,10 +1,68 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// TestUnknownStrategyListsValidNames pins the fix for the bare
+// -strategy error: an unknown value must name every valid strategy.
+func TestUnknownStrategyListsValidNames(t *testing.T) {
+	err := run([]string{"-benchmark", "d695", "-strategy", "simulated-annealing"})
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, want := range []string{"partition", "packing", "diagonal", "portfolio", "simulated-annealing"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestHelpAndParseErrors pins the FlagSet behaviour: -h is success
+// (usage printed, no error), a malformed flag is the already-reported
+// sentinel so main does not print it twice.
+func TestHelpAndParseErrors(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Errorf("run(-h) = %v, want nil", err)
+	}
+	if err := run([]string{"-width", "abc"}); !errors.Is(err, errBadFlags) {
+		t.Errorf("run(-width abc) = %v, want errBadFlags", err)
+	}
+	if err := run([]string{"-no-such-flag"}); !errors.Is(err, errBadFlags) {
+		t.Errorf("run(-no-such-flag) = %v, want errBadFlags", err)
+	}
+}
+
+// TestStrategyFlagCompatibility checks the per-strategy flag rejection:
+// partition-only flags fail fast with the packers and the portfolio.
+func TestStrategyFlagCompatibility(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		bad  string // flag the error must name; "" = must succeed
+	}{
+		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "packing", "-tams", "3"}, "-tams"},
+		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "diagonal", "-workers", "2"}, "-workers"},
+		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "portfolio", "-exhaustive"}, "-exhaustive"},
+		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "portfolio", "-tams", "2"}, "-tams"},
+		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "portfolio", "-workers", "2", "-max-tams", "4"}, ""},
+		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "diagonal"}, ""},
+	} {
+		err := run(tc.args)
+		if tc.bad == "" {
+			if err != nil {
+				t.Errorf("run(%v): unexpected error %v", tc.args, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.bad) {
+			t.Errorf("run(%v): error %v does not reject %s", tc.args, err, tc.bad)
+		}
+	}
+}
 
 func TestLoadSOCValidation(t *testing.T) {
 	if _, err := loadSOC("", ""); err == nil {

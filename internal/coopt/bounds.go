@@ -30,17 +30,25 @@ func LowerBound(s *soc.SOC, width int) (soc.Cycles, error) {
 	if err != nil {
 		return 0, err
 	}
+	return lowerBoundWithCeiling(tables, s, width, s.MaxPower), nil
+}
+
+// lowerBoundWithCeiling combines the power-free bounds with the
+// test-energy bound under an explicit peak-power ceiling (0 = none). It
+// is shared by LowerBound (the SOC's own ceiling) and the portfolio
+// racer's cancellation bound (the race's effective ceiling).
+func lowerBoundWithCeiling(tables [][]soc.Cycles, s *soc.SOC, width, ceiling int) soc.Cycles {
 	lb := lowerBoundFromTables(tables, width)
-	if s.MaxPower > 0 {
+	if ceiling > 0 {
 		var energy int64
 		for i, table := range tables {
 			energy += int64(s.Cores[i].Power) * int64(table[width-1])
 		}
-		if pb := soc.Cycles((energy + int64(s.MaxPower) - 1) / int64(s.MaxPower)); pb > lb {
+		if pb := soc.Cycles((energy + int64(ceiling) - 1) / int64(ceiling)); pb > lb {
 			lb = pb
 		}
 	}
-	return lb, nil
+	return lb
 }
 
 func lowerBoundFromTables(tables [][]soc.Cycles, width int) soc.Cycles {

@@ -1,25 +1,10 @@
-// Package coopt is the top of the wrapper/TAM co-optimization stack: the
-// DATE 2002 paper's Partition_evaluate heuristic (Figure 3) for the
-// problems P_PAW and P_NPAW, the exact final optimization step, and the
-// exhaustive enumerate-and-solve baseline of the earlier JETTA 2002 work
-// [8] that the paper compares against.
-//
-// The flow mirrors the paper exactly:
-//
-//  1. per-core testing-time tables T_i(w) come from Design_wrapper
-//     (package wrapper), computed once per SOC and total width;
-//  2. width partitions are enumerated with the bounded Increment odometer
-//     (package partition) for each candidate TAM count B;
-//  3. every partition is scored with the Core_assign heuristic (package
-//     assign) under the running best bound, which aborts hopeless
-//     partitions early — the paper's three levels of pruning;
-//  4. the winning partition is re-solved exactly (ILP or combinatorial
-//     branch and bound) as the final optimization step.
 package coopt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"soctam/internal/assign"
@@ -43,6 +28,16 @@ const (
 	// into the W×T bin (package pack), so cores need not share fixed
 	// test buses at all.
 	StrategyPacking
+	// StrategyDiagonal is rectangle bin-packing with the diagonal-length
+	// heuristic of arXiv:1008.4446: best-fit-decreasing placement ordered
+	// and tie-broken by the rectangle diagonal sqrt(w²+t²) (pack.PackDiagonal).
+	StrategyDiagonal
+	// StrategyPortfolio races the partition, packing and diagonal
+	// backends on concurrent goroutines against a shared incumbent bound
+	// and returns the winner — the best answer of any single strategy in
+	// roughly the wall-clock of the slowest still-relevant one, with
+	// per-backend attribution in Result.Portfolio.
+	StrategyPortfolio
 )
 
 // String names the strategy.
@@ -52,8 +47,30 @@ func (s Strategy) String() string {
 		return "partition"
 	case StrategyPacking:
 		return "packing"
+	case StrategyDiagonal:
+		return "diagonal"
+	case StrategyPortfolio:
+		return "portfolio"
 	}
 	return fmt.Sprintf("Strategy(%d)", uint8(s))
+}
+
+// StrategyNames returns the names ParseStrategy accepts, in the fixed
+// racing/tie-break order of the portfolio.
+func StrategyNames() []string {
+	return []string{"partition", "packing", "diagonal", "portfolio"}
+}
+
+// ParseStrategy maps a strategy name to its constant. The error of an
+// unknown name lists every valid choice.
+func ParseStrategy(name string) (Strategy, error) {
+	for i, n := range StrategyNames() {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("coopt: unknown strategy %q (valid strategies: %s)",
+		name, strings.Join(StrategyNames(), ", "))
 }
 
 // Solver selects the exact engine for final optimization and for the
@@ -161,6 +178,22 @@ func (o Options) maxTAMs() int {
 	return o.MaxTAMs
 }
 
+// effectiveCeiling resolves the peak-power ceiling a run enforces:
+// Options.MaxPower wins when positive, else the SOC's own MaxPower,
+// else 0 (unconstrained). Every ceiling consumer — the power context,
+// the portfolio cancellation bound — must use this single resolution so
+// they cannot disagree.
+func (o Options) effectiveCeiling(s *soc.SOC) int {
+	ceiling := o.MaxPower
+	if ceiling <= 0 {
+		ceiling = s.MaxPower
+	}
+	if ceiling < 0 {
+		ceiling = 0
+	}
+	return ceiling
+}
+
 func (o Options) workers() int {
 	if o.Workers == 0 {
 		return runtime.GOMAXPROCS(0)
@@ -237,6 +270,12 @@ type Result struct {
 	PeakPower int
 	// Stats aggregates partition-evaluation counters.
 	Stats Stats
+	// Portfolio holds per-backend attribution when the result came from
+	// StrategyPortfolio (nil otherwise): one entry per racing backend in
+	// strategy order, exactly one marked Winner — that backend's
+	// architecture is what the rest of this Result describes, and
+	// Strategy above names it.
+	Portfolio []BackendRun
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -269,6 +308,7 @@ type evaluator struct {
 	tables [][]soc.Cycles
 	opt    Options
 	pc     *powerContext
+	ctx    context.Context // nil = never cancelled
 
 	haveBest bool       // a completed evaluation has been recorded
 	best     soc.Cycles // running best testing time (valid when haveBest)
@@ -277,6 +317,11 @@ type evaluator struct {
 
 	scratch assign.Instance
 }
+
+// cancelCheckMask throttles context polls to one per 1024 partitions:
+// ctx.Err() takes a lock, and a poll per partition would be measurable
+// on the hot path.
+const cancelCheckMask = 1023
 
 // runCoreAssign dispatches to the configured heuristic variant.
 func runCoreAssign(opt Options, in *assign.Instance, bound soc.Cycles) (assign.Assignment, bool) {
@@ -333,15 +378,19 @@ func scoreOne(tables [][]soc.Cycles, scratch *assign.Instance, parts []int, boun
 }
 
 // evaluateOne scores a single width partition with Core_assign under the
-// running bound.
-func (e *evaluator) evaluateOne(parts []int) {
+// running bound; it returns false to stop the enumeration when the
+// evaluator's context has been cancelled.
+func (e *evaluator) evaluateOne(parts []int) bool {
+	if e.ctx != nil && e.stats.Enumerated&cancelCheckMask == 0 && e.ctx.Err() != nil {
+		return false
+	}
 	bound := e.best
 	if e.opt.NoEarlyAbort {
 		bound = 0
 	}
 	a, completed := scoreOne(e.tables, &e.scratch, parts, bound, e.opt, &e.stats)
 	if !completed {
-		return
+		return true
 	}
 	// haveBest (not best == 0) distinguishes "no result yet" from a
 	// legitimate 0-cycle best, so the first attainer wins even on
@@ -352,20 +401,23 @@ func (e *evaluator) evaluateOne(parts []int) {
 		// cannot win cannot need it.
 		if !e.pc.feasible(e.tables, parts, a.TAMOf) {
 			e.stats.PowerInfeasible++
-			return
+			return true
 		}
 		e.haveBest = true
 		e.best = a.Time
 		e.bestPart = partition.Canonical(parts)
 		e.stats.Improved++
 	}
+	return true
 }
 
 // enumeratePartitions drives the configured partition generator for one
 // TAM count, calling yield with a reused buffer for every enumerated
-// partition. It is the single dispatch shared by the sequential and
-// parallel paths, so both always enumerate the same partition sets.
-func enumeratePartitions(width, numTAMs int, strategy Enumeration, yield func(parts []int)) error {
+// partition; yield returning false stops the enumeration early (only
+// cancellation does — pruning never skips enumeration). It is the single
+// dispatch shared by the sequential and parallel paths, so both always
+// enumerate the same partition sets.
+func enumeratePartitions(width, numTAMs int, strategy Enumeration, yield func(parts []int) bool) error {
 	switch strategy {
 	case EnumOdometer:
 		o, err := partition.NewOdometer(width, numTAMs)
@@ -374,10 +426,9 @@ func enumeratePartitions(width, numTAMs int, strategy Enumeration, yield func(pa
 		}
 		for {
 			parts, ok := o.Next()
-			if !ok {
+			if !ok || !yield(parts) {
 				return nil
 			}
-			yield(parts)
 		}
 	case EnumNaive:
 		o, err := partition.NewNaiveOdometer(width, numTAMs)
@@ -386,16 +437,12 @@ func enumeratePartitions(width, numTAMs int, strategy Enumeration, yield func(pa
 		}
 		for {
 			parts, ok := o.Next()
-			if !ok {
+			if !ok || !yield(parts) {
 				return nil
 			}
-			yield(parts)
 		}
 	default:
-		partition.Enumerate(width, numTAMs, func(parts []int) bool {
-			yield(parts)
-			return true
-		})
+		partition.Enumerate(width, numTAMs, yield)
 		return nil
 	}
 }
@@ -407,7 +454,13 @@ func (e *evaluator) evaluateB(width, numTAMs int) error {
 		return fmt.Errorf("coopt: cannot split width %d into %d TAMs", width, numTAMs)
 	}
 	e.prepareScratch(numTAMs)
-	return enumeratePartitions(width, numTAMs, e.opt.Enumeration, e.evaluateOne)
+	if err := enumeratePartitions(width, numTAMs, e.opt.Enumeration, e.evaluateOne); err != nil {
+		return err
+	}
+	if e.ctx != nil {
+		return e.ctx.Err()
+	}
+	return nil
 }
 
 // finish runs the heuristic once more on the winning partition (for the
@@ -470,11 +523,17 @@ func solveExact(in *assign.Instance, opt Options) (assign.Assignment, bool, erro
 }
 
 // Solve is the unified co-optimization entry point: it dispatches on
-// Options.Strategy between the paper's partition flow (CoOptimize) and
-// the rectangle bin-packing backend (package pack).
+// Options.Strategy between the paper's partition flow (CoOptimize), the
+// two rectangle bin-packing backends (package pack), and the portfolio
+// racer that runs all three concurrently.
 func Solve(s *soc.SOC, width int, opt Options) (Result, error) {
-	if opt.Strategy == StrategyPacking {
-		return solvePacking(s, width, opt)
+	switch opt.Strategy {
+	case StrategyPacking:
+		return solvePacking(context.Background(), s, width, opt)
+	case StrategyDiagonal:
+		return solveDiagonal(context.Background(), s, width, opt)
+	case StrategyPortfolio:
+		return solvePortfolio(s, width, opt)
 	}
 	return CoOptimize(s, width, opt)
 }
@@ -510,11 +569,28 @@ func PartitionEvaluate(s *soc.SOC, width, numTAMs int, opt Options) (Result, err
 // with the best-known bound carried across TAM counts, followed by the
 // exact final optimization step on the winning partition.
 func CoOptimize(s *soc.SOC, width int, opt Options) (Result, error) {
-	started := time.Now()
+	return coOptimize(nil, s, width, opt)
+}
+
+// coOptimize is CoOptimize with cancellation: a non-nil ctx is polled
+// during partition evaluation (every cancelCheckMask+1 partitions on the
+// sequential path, every batch on the worker pool) and its error is
+// returned once it fires. The portfolio racer uses it to stop a
+// partition backend that can no longer win; cancellation never alters
+// the result of a run that completes.
+func coOptimize(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
 	tables, err := TimeTables(s, width)
 	if err != nil {
 		return Result{}, err
 	}
+	return coOptimizeTables(ctx, s, tables, width, opt)
+}
+
+// coOptimizeTables is coOptimize on precomputed testing-time tables —
+// the seam the portfolio racer uses so the tables it derives its
+// cancellation bound from are not computed a second time.
+func coOptimizeTables(ctx context.Context, s *soc.SOC, tables [][]soc.Cycles, width int, opt Options) (Result, error) {
+	started := time.Now()
 	pc, err := newPowerContext(s, opt)
 	if err != nil {
 		return Result{}, err
@@ -525,6 +601,7 @@ func CoOptimize(s *soc.SOC, width int, opt Options) (Result, error) {
 	}
 	if opt.workers() > 1 {
 		p := newParEvaluator(tables, opt, pc)
+		p.ctx = ctx
 		for b := 1; b <= maxB; b++ {
 			if err := p.evaluateB(width, b); err != nil {
 				return Result{}, err
@@ -532,7 +609,7 @@ func CoOptimize(s *soc.SOC, width int, opt Options) (Result, error) {
 		}
 		return p.finish(width, started)
 	}
-	e := &evaluator{tables: tables, opt: opt, pc: pc}
+	e := &evaluator{tables: tables, opt: opt, pc: pc, ctx: ctx}
 	for b := 1; b <= maxB; b++ {
 		if err := e.evaluateB(width, b); err != nil {
 			return Result{}, err

@@ -1,0 +1,27 @@
+// Package coopt is the top of the wrapper/TAM co-optimization stack
+// (ARCHITECTURE.md §3, §5, §8–§9): the DATE 2002 paper's
+// Partition_evaluate heuristic (Figure 3) for the problems P_PAW and
+// P_NPAW, the exact final optimization step, the exhaustive
+// enumerate-and-solve baseline of the earlier JETTA 2002 work [8] that
+// the paper compares against, and the strategy dispatch over the
+// alternative backends: rectangle bin-packing (StrategyPacking),
+// diagonal-length bin-packing (StrategyDiagonal), and the portfolio
+// racer (StrategyPortfolio) that runs all three concurrently against a
+// shared incumbent bound and returns the winner.
+//
+// The partition flow mirrors the paper exactly:
+//
+//  1. per-core testing-time tables T_i(w) come from Design_wrapper
+//     (package wrapper), computed once per SOC and total width;
+//  2. width partitions are enumerated with the bounded Increment odometer
+//     (package partition) for each candidate TAM count B;
+//  3. every partition is scored with the Core_assign heuristic (package
+//     assign) under the running best bound, which aborts hopeless
+//     partitions early — the paper's three levels of pruning;
+//  4. the winning partition is re-solved exactly (ILP or combinatorial
+//     branch and bound) as the final optimization step.
+//
+// Steps 2–3 run on the Options.Workers goroutine pool; results are
+// bit-for-bit identical at any worker count, including under the
+// portfolio racer (ARCHITECTURE.md §9 has the determinism argument).
+package coopt

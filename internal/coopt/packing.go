@@ -1,6 +1,7 @@
 package coopt
 
 import (
+	"context"
 	"time"
 
 	"soctam/internal/pack"
@@ -12,20 +13,36 @@ import (
 // packed architecture re-divides the W wires between cores over time
 // instead of fixing test buses, so there is no width partition to
 // report — the schedule itself (Result.Packing) is the architecture.
-func solvePacking(s *soc.SOC, width int, opt Options) (Result, error) {
+func solvePacking(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
 	started := time.Now()
-	sch, err := pack.Pack(s, width, pack.Options{MaxPower: opt.MaxPower})
+	sch, err := pack.PackContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower})
 	if err != nil {
 		return Result{}, err
 	}
+	return packingResult(StrategyPacking, sch, width, started), nil
+}
+
+// solveDiagonal runs the diagonal-length bin-packing backend
+// (pack.PackDiagonal); the Result has the same shape as solvePacking's.
+func solveDiagonal(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
+	started := time.Now()
+	sch, err := pack.PackDiagonalContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower})
+	if err != nil {
+		return Result{}, err
+	}
+	return packingResult(StrategyDiagonal, sch, width, started), nil
+}
+
+// packingResult wraps a packed schedule as a Result.
+func packingResult(strategy Strategy, sch *pack.Schedule, width int, started time.Time) Result {
 	return Result{
 		TotalWidth:    width,
-		Strategy:      StrategyPacking,
+		Strategy:      strategy,
 		Packing:       sch,
 		HeuristicTime: sch.Makespan,
 		Time:          sch.Makespan,
 		MaxPower:      sch.MaxPower,
 		PeakPower:     sch.PeakPower(),
 		Elapsed:       time.Since(started),
-	}, nil
+	}
 }

@@ -1,6 +1,7 @@
 package coopt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,7 @@ type parEvaluator struct {
 	tables [][]soc.Cycles
 	opt    Options
 	pc     *powerContext
+	ctx    context.Context // nil = never cancelled
 
 	best atomic.Int64 // running best testing time in cycles; 0 = none yet
 	// (a genuine 0-cycle best leaves the atomic at 0, which only costs
@@ -86,26 +88,34 @@ func (p *parEvaluator) evaluateB(width, numTAMs int) error {
 	err := p.generate(width, numTAMs, jobs)
 	close(jobs)
 	wg.Wait()
+	if err == nil && p.ctx != nil {
+		err = p.ctx.Err()
+	}
 	return err
 }
 
 // generate enumerates partitions with the configured strategy, copies
 // them out of the enumerator's reused buffer into flat slabs, and feeds
-// them to the pool in batches.
+// them to the pool in batches. A cancelled context stops the enumeration
+// at the next batch boundary (workers drain but skip remaining work).
 func (p *parEvaluator) generate(width, numTAMs int, jobs chan<- batch) error {
 	cur := batch{seq0: p.seq, width: numTAMs, flat: make([]int, 0, batchSize*numTAMs)}
-	emit := func(parts []int) {
+	emit := func(parts []int) bool {
 		cur.flat = append(cur.flat, parts...)
 		p.seq++
 		if len(cur.flat) == cap(cur.flat) {
+			if p.ctx != nil && p.ctx.Err() != nil {
+				return false
+			}
 			jobs <- cur
 			cur = batch{seq0: p.seq, width: numTAMs, flat: make([]int, 0, batchSize*numTAMs)}
 		}
+		return true
 	}
 	if err := enumeratePartitions(width, numTAMs, p.opt.Enumeration, emit); err != nil {
 		return err
 	}
-	if len(cur.flat) > 0 {
+	if len(cur.flat) > 0 && (p.ctx == nil || p.ctx.Err() == nil) {
 		jobs <- cur
 	}
 	return nil
@@ -125,6 +135,9 @@ func (p *parEvaluator) worker(numTAMs int, jobs <-chan batch) {
 	}
 	var local Stats
 	for b := range jobs {
+		if p.ctx != nil && p.ctx.Err() != nil {
+			continue // drain without scoring; evaluateB reports the error
+		}
 		for k := 0; k < b.count(); k++ {
 			parts := b.parts(k)
 			// Abort only strictly above the bound (bound+1): partitions

@@ -1,0 +1,233 @@
+package coopt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soctam/internal/soc"
+)
+
+// This file implements StrategyPortfolio: Solve races the partition,
+// packing and diagonal backends on concurrent goroutines and returns
+// the winner. The backends share the best completed testing time
+// through an atomic incumbent bound; a backend whose lower bound proves
+// it can neither beat nor tie-win the incumbent is cancelled via its
+// context. See ARCHITECTURE.md §9 for the determinism argument.
+//
+// Sharing is deliberately limited to provably consequence-free
+// cancellation. Feeding the cross-backend incumbent into a backend's
+// *internal* pruning (e.g. the partition flow's lines 18–20 abort)
+// would make that backend's answer depend on when the other backends
+// happened to finish: the partition flow's exact final step runs on the
+// heuristic argmin, so pruning the argmin against a foreign bound can
+// change — or lose — the backend's standalone result, breaking both
+// bit-for-bit determinism and the guarantee that the portfolio never
+// returns a worse time than the best single backend.
+
+// BackendRun is one racer's outcome inside a portfolio run, in the
+// fixed strategy order (partition, packing, diagonal).
+type BackendRun struct {
+	// Strategy is the backend this entry describes.
+	Strategy Strategy
+	// Time is the testing time the backend achieved; 0 when it was
+	// cancelled or failed (check Cancelled/Err, not Time).
+	Time soc.Cycles
+	// Elapsed is the backend's own wall-clock duration inside the race.
+	Elapsed time.Duration
+	// Cancelled reports that the incumbent bound proved the backend
+	// could neither beat nor tie-win the race, and it was stopped early.
+	Cancelled bool
+	// Err is the backend's failure, if any ("" on success; a power
+	// ceiling can make one backend infeasible while another wins).
+	Err string
+	// Winner marks the backend whose architecture the Result carries.
+	Winner bool
+}
+
+// strategyOrder is the fixed tie-break order of the race: on equal
+// testing times the earlier strategy wins, at any worker count and
+// whatever the finishing order was.
+func strategyOrder(s Strategy) int { return int(s) }
+
+// incumbent is the shared best-completed testing time of the race,
+// encoded into a single atomic word as time<<2 | strategyOrder so that
+// smaller means lexicographically better on (time, tie-break order).
+type incumbent struct{ v atomic.Int64 }
+
+// maxEncodable is the largest testing time the incumbent encoding
+// carries; beyond it offers saturate to "no information", which only
+// costs cancellation opportunities, never correctness.
+const maxEncodable = soc.Cycles(1) << 60
+
+func newIncumbent() *incumbent {
+	in := &incumbent{}
+	in.v.Store(math.MaxInt64)
+	return in
+}
+
+// offer records a completed backend's testing time, keeping the
+// lexicographic minimum of (time, strategy order) across all offers.
+func (in *incumbent) offer(t soc.Cycles, order int) {
+	if t >= maxEncodable {
+		return
+	}
+	enc := int64(t)<<2 | int64(order)
+	for {
+		cur := in.v.Load()
+		if cur <= enc || in.v.CompareAndSwap(cur, enc) {
+			return
+		}
+	}
+}
+
+// beats reports whether the incumbent is strictly better than a
+// hypothetical result (t, order) — the cancellation test: a backend
+// whose best possible outcome is beaten cannot affect the race.
+func (in *incumbent) beats(t soc.Cycles, order int) bool {
+	if t >= maxEncodable {
+		return false
+	}
+	return in.v.Load() < int64(t)<<2|int64(order)
+}
+
+// portfolioLowerBound is the architecture-independent lower bound every
+// backend is held against for cancellation, with the energy term under
+// the race's effective power ceiling (Options.MaxPower over the SOC's).
+func portfolioLowerBound(tables [][]soc.Cycles, s *soc.SOC, opt Options, width int) soc.Cycles {
+	return lowerBoundWithCeiling(tables, s, width, opt.effectiveCeiling(s))
+}
+
+// portfolioPartitionWorkers returns the worker count the partition
+// racer gets inside a portfolio run: the resolved Workers minus one for
+// each single-threaded packing racer, never below one.
+func (o Options) portfolioPartitionWorkers() int {
+	w := o.workers() - 2
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// PortfolioPartitionParallel reports whether the partition racer inside
+// a portfolio run evaluates partitions on a worker pool — i.e. whether
+// the Stats split of a partition-won portfolio Result is
+// evaluation-order dependent (the ParallelEvaluation analogue for
+// StrategyPortfolio).
+func (o Options) PortfolioPartitionParallel() bool { return o.portfolioPartitionWorkers() > 1 }
+
+// solvePortfolio races the partition, packing and diagonal backends
+// concurrently and returns the winner: the best testing time, ties
+// broken by the fixed strategy order. Each backend runs its standalone
+// algorithm unchanged (so the portfolio time equals the minimum of the
+// single-backend times, bit for bit at any Workers setting); the
+// incumbent bound cancels a backend only when it provably cannot win.
+func solvePortfolio(s *soc.SOC, width int, opt Options) (Result, error) {
+	started := time.Now()
+	tables, err := TimeTables(s, width) // validates SOC and width up front
+	if err != nil {
+		return Result{}, err
+	}
+	lb := portfolioLowerBound(tables, s, opt, width)
+
+	// Workers split: the packing racers are single-threaded, so each
+	// reserves one resolved worker and the partition flow's pool gets
+	// the rest (never below one).
+	partOpt := opt
+	partOpt.Strategy = StrategyPartition
+	partOpt.Workers = opt.portfolioPartitionWorkers()
+
+	backends := []struct {
+		strategy Strategy
+		run      func(ctx context.Context) (Result, error)
+	}{
+		{StrategyPartition, func(ctx context.Context) (Result, error) { return coOptimizeTables(ctx, s, tables, width, partOpt) }},
+		{StrategyPacking, func(ctx context.Context) (Result, error) { return solvePacking(ctx, s, width, opt) }},
+		{StrategyDiagonal, func(ctx context.Context) (Result, error) { return solveDiagonal(ctx, s, width, opt) }},
+	}
+
+	type outcome struct {
+		res     Result
+		err     error
+		elapsed time.Duration
+	}
+	bound := newIncumbent()
+	cancels := make([]context.CancelFunc, len(backends))
+	results := make([]outcome, len(backends))
+	done := make(chan int, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels[i] = cancel
+		wg.Add(1)
+		go func(i int, run func(context.Context) (Result, error), order int) {
+			defer wg.Done()
+			t0 := time.Now()
+			res, err := run(ctx)
+			if err == nil {
+				bound.offer(res.Time, order)
+			}
+			results[i] = outcome{res: res, err: err, elapsed: time.Since(t0)}
+			done <- i
+		}(i, b.run, strategyOrder(b.strategy))
+	}
+
+	// Monitor: after every completion, cancel any still-running backend
+	// whose best conceivable outcome (the shared lower bound at its own
+	// tie-break rank) is already beaten by the incumbent. Cancelling is
+	// consequence-free — such a backend could not have changed the
+	// winner — so the race stays deterministic.
+	finished := make([]bool, len(backends))
+	for range backends {
+		finished[<-done] = true
+		for j, b := range backends {
+			if !finished[j] && bound.beats(lb, strategyOrder(b.strategy)) {
+				cancels[j]()
+			}
+		}
+	}
+	wg.Wait()
+	for _, cancel := range cancels {
+		cancel()
+	}
+
+	runs := make([]BackendRun, len(backends))
+	winner := -1
+	for i, b := range backends {
+		out := &results[i]
+		runs[i] = BackendRun{Strategy: b.strategy, Elapsed: out.elapsed}
+		switch {
+		case out.err == nil:
+			runs[i].Time = out.res.Time
+			// Strict < keeps the earlier strategy on ties: backends are
+			// visited in strategy order.
+			if winner < 0 || out.res.Time < results[winner].res.Time {
+				winner = i
+			}
+		case errors.Is(out.err, context.Canceled):
+			runs[i].Cancelled = true
+		default:
+			runs[i].Err = out.err.Error()
+		}
+	}
+	if winner < 0 {
+		var msgs []string
+		for i, b := range backends {
+			if results[i].err != nil && !runs[i].Cancelled {
+				msgs = append(msgs, fmt.Sprintf("%s: %v", b.strategy, results[i].err))
+			}
+		}
+		return Result{}, fmt.Errorf("coopt: every portfolio backend failed (%s)", strings.Join(msgs, "; "))
+	}
+	runs[winner].Winner = true
+
+	res := results[winner].res
+	res.Portfolio = runs
+	res.Elapsed = time.Since(started)
+	return res, nil
+}

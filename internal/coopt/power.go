@@ -22,13 +22,7 @@ type powerContext struct {
 // when a single testable core draws more than the ceiling alone: no
 // schedule at all could satisfy it.
 func newPowerContext(s *soc.SOC, opt Options) (*powerContext, error) {
-	ceiling := opt.MaxPower
-	if ceiling <= 0 {
-		ceiling = s.MaxPower
-	}
-	if ceiling < 0 {
-		ceiling = 0
-	}
+	ceiling := opt.effectiveCeiling(s)
 	if err := s.CheckPowerCeiling(ceiling); err != nil {
 		return nil, fmt.Errorf("coopt: %w", err)
 	}

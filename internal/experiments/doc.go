@@ -1,0 +1,16 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4; ARCHITECTURE.md §7): the Figure 2 worked
+// example, the Table 1 partition-pruning study, the P_PAW comparisons of
+// the exhaustive [8] baseline against the new co-optimization method
+// (Tables 2, 5-6, 9-12, 15-18), the P_NPAW sweeps (Tables 3, 7, 13, 19)
+// and the core-data range tables (4, 8, 14) — plus three experiments
+// with no paper counterpart: "packing" (the rectangle bin-packing
+// backend against the partition flow), "power" (the peak-power-ceiling
+// sweep) and "portfolio" (the three-backend race against each single
+// backend on every benchmark SOC).
+//
+// Each experiment is a named Generator in the registry; cmd/tables runs
+// them from the command line and bench_test.go wraps each in a benchmark.
+// Experiments print the same rows and columns as the corresponding paper
+// table; EXPERIMENTS.md records the measured values against the paper's.
+package experiments

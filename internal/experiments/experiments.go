@@ -1,16 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Section 4): the Figure 2 worked example, the Table 1
-// partition-pruning study, the P_PAW comparisons of the exhaustive [8]
-// baseline against the new co-optimization method (Tables 2, 5-6, 9-12,
-// 15-18), the P_NPAW sweeps (Tables 3, 7, 13, 19) and the core-data range
-// tables (4, 8, 14) — plus the "packing" comparison of the rectangle
-// bin-packing backend against the partition flow and the "power"
-// peak-power-ceiling sweep (no paper counterparts).
-//
-// Each experiment is a named Generator in the registry; cmd/tables runs
-// them from the command line and bench_test.go wraps each in a benchmark.
-// Experiments print the same rows and columns as the corresponding paper
-// table; EXPERIMENTS.md records the measured values against the paper's.
 package experiments
 
 import (
@@ -89,6 +76,7 @@ var registry = map[string]Generator{
 	"table19":    Table19,
 	"packing":    PackingVsPartition,
 	"power":      PowerSweep,
+	"portfolio":  PortfolioVsSingle,
 }
 
 // Names returns the registered experiment names in order.
@@ -138,7 +126,7 @@ func orderedNames() []string {
 		"figure2", "table1", "table2", "table3", "table4", "table5-6",
 		"table7", "table8", "table9-10", "table11-12", "table13",
 		"table14", "table15-16", "table17-18", "table19", "packing",
-		"power",
+		"power", "portfolio",
 	}
 }
 

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"soctam/internal/coopt"
+	"soctam/internal/report"
+)
+
+// PortfolioVsSingle compares the portfolio racer against every single
+// backend on each benchmark SOC over the width sweep: the race must
+// return the best single-backend time (the portfolio invariant), and
+// the interesting question is which backend wins where and what the
+// race costs in wall clock against running the three backends one after
+// another. This experiment has no counterpart in the source paper — it
+// quantifies the multi-backend scenario the ROADMAP's north star asks
+// for.
+func PortfolioVsSingle(opt Options) ([]*report.Table, error) {
+	cfg := opt.cooptOptions()
+	var tables []*report.Table
+	for _, name := range []string{"d695", "p21241", "p31108", "p93791"} {
+		s, err := benchmarkSOC(name)
+		if err != nil {
+			return nil, err
+		}
+		t := &report.Table{
+			Title: fmt.Sprintf("Portfolio vs single backends: %s, best-of-three race with incumbent cancellation", name),
+			Header: []string{"W", "T_part", "T_pack", "T_diag", "T_portfolio",
+				"winner", "t_serial (s)", "t_race (s)"},
+		}
+		for _, w := range opt.widths() {
+			var times [3]string
+			var serial float64
+			for i, strat := range []coopt.Strategy{coopt.StrategyPartition, coopt.StrategyPacking, coopt.StrategyDiagonal} {
+				c := cfg
+				c.Strategy = strat
+				res, err := coopt.Solve(s, w, c)
+				if err != nil {
+					return nil, err
+				}
+				times[i] = report.Cycles(res.Time)
+				serial += res.Elapsed.Seconds()
+			}
+			c := cfg
+			c.Strategy = coopt.StrategyPortfolio
+			race, err := coopt.Solve(s, w, c)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprint(w),
+				times[0], times[1], times[2],
+				report.Cycles(race.Time),
+				race.Strategy.String(),
+				fmt.Sprintf("%.3f", serial),
+				fmt.Sprintf("%.3f", race.Elapsed.Seconds()),
+			)
+		}
+		t.AddNote("T_portfolio is always min(T_part, T_pack, T_diag); ties go to the earlier strategy")
+		t.AddNote("t_serial sums the three standalone runs; t_race is the concurrent portfolio wall clock")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,16 +1,3 @@
-// Package ilp implements a branch-and-bound integer linear programming
-// solver on top of the package lp simplex.
-//
-// It plays the role of lpsolve [2] in the DATE 2002 paper: the P_AW core
-// assignment model (Section 3.2) is a 0/1 ILP, solved exactly here both
-// for the paper's "final optimization step" and for the exhaustive
-// enumeration baseline of the earlier JETTA work [8].
-//
-// The solver does depth-first branch and bound with most-fractional
-// branching, exploring the rounded branch first, and prunes nodes whose
-// LP relaxation cannot beat the incumbent. Only minimization problems are
-// accepted (P_AW minimizes testing time); callers with maximization
-// problems negate their objective.
 package ilp
 
 import (

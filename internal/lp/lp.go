@@ -1,18 +1,3 @@
-// Package lp implements a dense two-phase primal simplex solver for
-// linear programs, built from scratch on the standard library.
-//
-// The DATE 2002 paper solves its P_AW integer linear program with
-// lpsolve [2]; no Go bindings for lpsolve exist, so this package provides
-// the linear-programming substrate (and package ilp the branch-and-bound
-// layer) needed to reproduce the paper's exact "final optimization step"
-// and the exhaustive baseline.
-//
-// Problems are stated over n structural variables x >= 0 with dense
-// coefficient rows and <=, >= or = comparisons. The solver converts to
-// standard form with slack, surplus and artificial columns, runs a
-// phase-1 feasibility simplex followed by a phase-2 optimization, and
-// guards against cycling by switching from Dantzig's rule to Bland's rule
-// after a run of degenerate pivots.
 package lp
 
 import (

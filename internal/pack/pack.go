@@ -1,27 +1,7 @@
-// Package pack implements rectangle bin-packing wrapper/TAM
-// co-optimization, the alternative architecture family of the follow-up
-// TAM literature (Iyengar et al., and the arXiv studies "Efficient
-// Wrapper/TAM Co-Optimization for SOC Using Rectangle Packing" and
-// "Wrapper/TAM Co-Optimization and Constrained Test Scheduling for SOCs
-// Using Rectangle Bin Packing").
-//
-// Each core's test is modelled as a rectangle: its height is a TAM width
-// w (wires used simultaneously) and its length the testing time T_i(w)
-// from Design_wrapper. The SOC's test is a placement of one rectangle
-// per core into the W×T bin — W total TAM wires by T testing cycles —
-// with no two rectangles overlapping. Unlike the partition flow, cores
-// need not share fixed test buses: a core may straddle any contiguous
-// band of wires for just the duration of its own test, so wires are
-// re-divided between cores over time.
-//
-// The packer follows the papers' scheme: pick a testing-time budget T,
-// derive each core's preferred width (the smallest Pareto width meeting
-// the budget — the diagonal/aspect rule: rectangles are shaped to the
-// bin), place rectangles greedily earliest-first, and sweep the budget
-// over multiples of the packing lower bound, keeping the best schedule.
 package pack
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -180,6 +160,22 @@ func (o Options) budgets() []float64 {
 	return builtinBudgets
 }
 
+// effectiveCeiling resolves the peak-power ceiling a packing run
+// enforces: Options.MaxPower wins when positive, else the SOC's own
+// MaxPower, else 0 (unconstrained) — the same resolution rule as the
+// co-optimization flows, so every backend of a portfolio race enforces
+// one ceiling.
+func (o Options) effectiveCeiling(s *soc.SOC) int {
+	ceiling := o.MaxPower
+	if ceiling <= 0 {
+		ceiling = s.MaxPower
+	}
+	if ceiling < 0 {
+		ceiling = 0
+	}
+	return ceiling
+}
+
 // LowerBound returns the packing lower bound on the SOC testing time for
 // a total width W: the largest of the area bound — each core claims at
 // least its minimal rectangle area min_w w·T_i(w), and the bin offers
@@ -286,20 +282,43 @@ func (sh *coreShape) preferredIndex(budget soc.Cycles) int {
 // the ceiling is ever taken, so the returned schedule always satisfies
 // PeakPower <= MaxPower.
 func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
+	return PackContext(context.Background(), s, totalWidth, opt)
+}
+
+// PackContext is Pack with cancellation: the budget sweep checks ctx
+// between placement attempts and returns ctx's error once it is done —
+// the hook the portfolio racer (internal/coopt) uses to stop a packing
+// backend that can no longer win.
+func PackContext(ctx context.Context, s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
+	return packWith(ctx, s, totalWidth, opt, func(shapes []coreShape, budget soc.Cycles, ceiling int) []*Schedule {
+		out := make([]*Schedule, 0, 3)
+		for _, ord := range []order{byWidth, byTime, byArea} {
+			out = append(out, packOnce(shapes, totalWidth, budget, ord, ceiling))
+		}
+		return out
+	})
+}
+
+// attemptFunc packs the budget-shaped rectangles once (or a few times in
+// different orders) and returns every schedule produced.
+type attemptFunc func(shapes []coreShape, budget soc.Cycles, ceiling int) []*Schedule
+
+// packWith runs the shared packing pipeline — core shapes, effective
+// power ceiling, lower bound, budget sweep with iterative refinement —
+// around one placement heuristic. Both the budgeted-best-fit packer
+// (Pack) and the diagonal packer (PackDiagonal) are instances of it.
+func packWith(ctx context.Context, s *soc.SOC, totalWidth int, opt Options, attempt attemptFunc) (*Schedule, error) {
 	shapes, err := coreShapes(s, totalWidth)
 	if err != nil {
 		return nil, err
 	}
-	ceiling := opt.MaxPower
-	if ceiling <= 0 {
-		ceiling = s.MaxPower
-	}
+	ceiling := opt.effectiveCeiling(s)
 	if err := s.CheckPowerCeiling(ceiling); err != nil {
 		return nil, fmt.Errorf("pack: %w", err)
 	}
 	lb := lowerBound(shapes, totalWidth, ceiling)
 	var best *Schedule
-	// tried dedupes budgets: packOnce is deterministic, so re-packing a
+	// tried dedupes budgets: attempts are deterministic, so re-packing a
 	// budget the sweep or a previous refinement round already shaped can
 	// never improve and is pure waste (sub-lower-bound targets all clamp
 	// to lb, which would otherwise re-pack up to 5×32 times).
@@ -313,8 +332,7 @@ func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
 		}
 		tried[budget] = true
 		improved := false
-		for _, ord := range []order{byWidth, byTime, byArea} {
-			sch := packOnce(shapes, totalWidth, budget, ord, ceiling)
+		for _, sch := range attempt(shapes, budget, ceiling) {
 			if best == nil || sch.Makespan < best.Makespan {
 				best = sch
 				improved = true
@@ -323,6 +341,9 @@ func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
 		return improved
 	}
 	for _, mult := range opt.budgets() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		try(scaleCycles(lb, mult))
 	}
 	// Budget refinement: re-shape the rectangles against the best
@@ -331,6 +352,9 @@ func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
 	for iter := 0; iter < 32; iter++ {
 		improved := false
 		for _, f := range []float64{0.80, 0.86, 0.91, 0.95, 0.98} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if try(scaleCycles(best.Makespan, f)) {
 				improved = true
 			}
@@ -438,20 +462,7 @@ func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order, 
 				break // a narrower shape already meets the budget
 			}
 			for at := 0; at+w <= totalWidth; at++ {
-				var start soc.Cycles
-				for x := at; x < at+w; x++ {
-					if avail[x] > start {
-						start = avail[x]
-					}
-				}
-				if ceiling > 0 {
-					start = earliestPowerStart(prof, ceiling, sh.power, start, t)
-				}
-				var waste int64
-				for x := at; x < at+w; x++ {
-					waste += int64(start - avail[x])
-				}
-				end := start + t
+				start, waste, end := measurePlacement(avail, prof, ceiling, sh.power, at, w, t)
 				if end <= budget {
 					if fitWaste < 0 || start < fit.Start ||
 						(start == fit.Start && waste < fitWaste) {
@@ -471,19 +482,48 @@ func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order, 
 			bestRect = fallback
 		}
 		bestRect.Power = sh.power
-		sch.Rects = append(sch.Rects, bestRect)
-		if ceiling > 0 && bestRect.Power > 0 && bestRect.Duration() > 0 {
-			prof = insertEvent(prof, soc.PowerEvent{At: bestRect.Start, Delta: bestRect.Power})
-			prof = insertEvent(prof, soc.PowerEvent{At: bestRect.End, Delta: -bestRect.Power})
-		}
-		for x := bestRect.Wire; x < bestRect.Wire+bestRect.Width; x++ {
-			avail[x] = bestRect.End
-		}
-		if bestRect.End > sch.Makespan {
-			sch.Makespan = bestRect.End
-		}
+		prof = commitPlacement(sch, avail, prof, ceiling, bestRect)
 	}
 	return sch
+}
+
+// measurePlacement evaluates one candidate position for a w-wires by
+// t-cycles rectangle starting at wire `at`: the earliest start the
+// skyline allows (pushed further under a power ceiling until the whole
+// test has headroom), the idle wire-cycle area the placement would
+// strand under itself, and the finish time. Shared by every placement
+// heuristic so the skyline and power semantics cannot diverge.
+func measurePlacement(avail []soc.Cycles, prof []soc.PowerEvent, ceiling, power, at, w int, t soc.Cycles) (start soc.Cycles, waste int64, end soc.Cycles) {
+	for x := at; x < at+w; x++ {
+		if avail[x] > start {
+			start = avail[x]
+		}
+	}
+	if ceiling > 0 {
+		start = earliestPowerStart(prof, ceiling, power, start, t)
+	}
+	for x := at; x < at+w; x++ {
+		waste += int64(start - avail[x])
+	}
+	return start, waste, start + t
+}
+
+// commitPlacement books a chosen rectangle into the schedule, the
+// skyline and (under a ceiling) the power profile, returning the
+// updated profile. Shared by every placement heuristic.
+func commitPlacement(sch *Schedule, avail []soc.Cycles, prof []soc.PowerEvent, ceiling int, r Rect) []soc.PowerEvent {
+	sch.Rects = append(sch.Rects, r)
+	if ceiling > 0 && r.Power > 0 && r.Duration() > 0 {
+		prof = insertEvent(prof, soc.PowerEvent{At: r.Start, Delta: r.Power})
+		prof = insertEvent(prof, soc.PowerEvent{At: r.End, Delta: -r.Power})
+	}
+	for x := r.Wire; x < r.Wire+r.Width; x++ {
+		avail[x] = r.End
+	}
+	if r.End > sch.Makespan {
+		sch.Makespan = r.End
+	}
+	return prof
 }
 
 // earliestPowerStart returns the earliest start >= from at which a test

@@ -1,14 +1,3 @@
-// Package partition provides the integer-partition machinery behind TAM
-// width partitioning: exact counting of partitions of W into exactly B
-// positive parts, the asymptotic estimates quoted in the DATE 2002 paper,
-// canonical (non-decreasing) enumeration, and the paper-faithful Increment
-// odometer of Figure 3 with its Line-1 upper-bound restriction.
-//
-// A "partition" here is a multiset of B positive integers summing to W:
-// the widths of the B TAMs on an SOC with W total TAM wires. TAMs are
-// interchangeable, so (1,2,5) and (2,1,5) describe the same architecture;
-// the paper's odometer suppresses most — but not all — such duplicates,
-// which is exactly the behaviour Table 1 measures.
 package partition
 
 import (

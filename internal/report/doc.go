@@ -1,0 +1,6 @@
+// Package report renders the experiment results as aligned plain-text
+// tables in the style of the paper's result tables (Section 4;
+// ARCHITECTURE.md §7), and provides the formatting helpers the tables
+// share (testing-time cycles, CPU-time ratios, width partitions,
+// percentage deltas).
+package report

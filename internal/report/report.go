@@ -1,7 +1,3 @@
-// Package report renders the experiment results as aligned plain-text
-// tables in the style of the paper's result tables, and provides the
-// formatting helpers the tables share (testing-time cycles, CPU-time
-// ratios, width partitions, percentage deltas).
 package report
 
 import (

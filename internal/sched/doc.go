@@ -1,0 +1,14 @@
+// Package sched solves the minimum-makespan scheduling problem underlying
+// core-to-TAM assignment (ARCHITECTURE.md §2): n independent jobs (core
+// tests) on m parallel machines (TAMs) with machine-dependent processing
+// times — the problem R||Cmax in scheduling notation. The paper's
+// Core_assign heuristic is an approximation algorithm for this problem
+// [3]; this package provides the surrounding machinery:
+//
+//   - Makespan evaluation and validation of assignments,
+//   - an LPT-style greedy baseline,
+//   - a brute-force oracle for tests, and
+//   - an exact depth-first branch-and-bound with symmetry breaking over
+//     identical machines, used for the paper's exact ILP comparisons and
+//     final optimization step (cross-checked against package ilp).
+package sched

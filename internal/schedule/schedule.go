@@ -1,14 +1,3 @@
-// Package schedule derives the test schedule implied by a wrapper/TAM
-// architecture. Cores assigned to one TAM are tested serially — the test
-// bus is a shared resource — while the TAMs themselves run in parallel;
-// the SOC testing time is the finish time of the busiest TAM.
-//
-// Beyond the timeline itself, the package quantifies the two effects the
-// paper uses to motivate multi-TAM architectures (Section 1): idle TAM
-// wires (a core whose wrapper uses fewer chains than its TAM is wide
-// wastes the remaining wires for its whole test) and idle TAM tail time
-// (TAMs that finish before the busiest one). Both shrink when the width
-// partition matches the cores' needs.
 package schedule
 
 import (

@@ -1,0 +1,15 @@
+// Package soc defines the system-on-chip data model shared by the whole
+// library (ARCHITECTURE.md §1): embedded cores with functional terminals
+// and internal scan chains, grouped into an SOC under test, plus the
+// .soc text format and the power-event primitives every scheduler shares.
+//
+// The model follows the test-resource view of the DATE 2002 paper
+// "Efficient Wrapper/TAM Co-Optimization for Large SOCs" and its JETTA 2002
+// predecessor: a core is characterized by its functional input/output/
+// bidirectional terminal counts, the lengths of its internal scan chains,
+// and the number of test patterns applied to it. Logic cores carry scan
+// chains; memory cores typically have none. The power extension
+// (Core.Power, SOC.MaxPower; ARCHITECTURE.md §5a) adds the per-core test
+// power and the SOC-level peak-power ceiling of the power-constrained
+// literature.
+package soc

@@ -1,0 +1,12 @@
+// Package socdata provides the benchmark SOCs the DATE 2002 paper
+// evaluates on (ARCHITECTURE.md §4 and §6): the academic d695
+// (reconstructed from its published core data) and the three Philips
+// industrial SOCs p21241, p31108 and p93791 (synthesized — the
+// core-level data is proprietary, so deterministic generators reproduce
+// every statistic the paper does publish: core counts, logic/memory
+// split, the parameter ranges of Tables 4, 8 and 14, and the SOC
+// test-complexity number encoded in each SOC's name).
+//
+// It also provides the five-core, three-TAM worked example of the paper's
+// Figure 2.
+package socdata

@@ -1,24 +1,3 @@
-// Package wrapper implements test wrapper design for embedded cores — the
-// problem P_W of the DATE 2002 paper — using the Design_wrapper algorithm
-// from the JETTA 2002 predecessor paper.
-//
-// A core wrapper chains the core's internal scan chains and its functional
-// terminal cells into at most w "wrapper scan chains", where w is the
-// width of the TAM the core is attached to. The test time of the core is
-//
-//	T = (1 + max(si, so))·p + min(si, so)
-//
-// where p is the pattern count, si is the longest scan-in path (input
-// cells + internal scan cells on one wrapper chain) and so the longest
-// scan-out path. Scan-in of the next pattern overlaps scan-out of the
-// previous one, hence the min term.
-//
-// Design_wrapper pursues two priorities: (i) minimize core test time and
-// (ii) minimize the TAM width actually used. It balances internal scan
-// chains over candidate wrapper-chain counts k = 1..w (Best-Fit-Decreasing
-// flavored balancing) and keeps the smallest k that reaches the minimum
-// time — the paper's "built-in reluctance to create a new wrapper scan
-// chain".
 package wrapper
 
 import (

@@ -11,15 +11,16 @@
 //
 // The top-level entry points are:
 //
-//   - Solve: the unified entry point — the paper's partition flow or the
-//     rectangle bin-packing backend, selected by Options.Strategy, with
-//     partition evaluation parallelized across Options.Workers and an
-//     optional peak-power ceiling enforced via Options.MaxPower (or the
-//     SOC's own MaxPower);
+//   - Solve: the unified entry point — the paper's partition flow, one
+//     of the two rectangle bin-packing heuristics, or the portfolio
+//     racer that runs all three concurrently and returns the winner,
+//     selected by Options.Strategy, with partition evaluation
+//     parallelized across Options.Workers and an optional peak-power
+//     ceiling enforced via Options.MaxPower (or the SOC's own MaxPower);
 //   - CoOptimize: the paper's full flow (Partition_evaluate heuristic +
 //     exact final optimization) for the problem P_NPAW;
-//   - PackRectangles / PackingLowerBound: rectangle bin-packing
-//     co-optimization on its own;
+//   - PackRectangles / PackRectanglesDiagonal / PackingLowerBound:
+//     rectangle bin-packing co-optimization on its own;
 //   - CoOptimizeFixedTAMs: the same with the TAM count fixed (P_PAW);
 //   - Exhaustive / ExhaustiveRange: the exact enumerate-and-solve
 //     baseline of the earlier JETTA 2002 paper, for comparison;
@@ -72,6 +73,9 @@ type (
 	Solver = coopt.Solver
 	// Strategy selects the co-optimization backend for Solve.
 	Strategy = coopt.Strategy
+	// BackendRun is one racer's outcome inside a portfolio run
+	// (Result.Portfolio).
+	BackendRun = coopt.BackendRun
 
 	// PackingSchedule is a rectangle bin-packing of an SOC's tests.
 	PackingSchedule = pack.Schedule
@@ -103,7 +107,23 @@ const (
 	StrategyPartition = coopt.StrategyPartition
 	// StrategyPacking is rectangle bin-packing co-optimization.
 	StrategyPacking = coopt.StrategyPacking
+	// StrategyDiagonal is rectangle bin-packing with the diagonal-length
+	// heuristic of arXiv:1008.4446.
+	StrategyDiagonal = coopt.StrategyDiagonal
+	// StrategyPortfolio races the partition, packing and diagonal
+	// backends concurrently and returns the winner, with per-backend
+	// attribution in Result.Portfolio.
+	StrategyPortfolio = coopt.StrategyPortfolio
 )
+
+// ParseStrategy maps a strategy name ("partition", "packing",
+// "diagonal", "portfolio") to its constant; the error of an unknown
+// name lists every valid choice.
+func ParseStrategy(name string) (Strategy, error) { return coopt.ParseStrategy(name) }
+
+// StrategyNames returns the names ParseStrategy accepts, in the
+// portfolio's fixed racing/tie-break order.
+func StrategyNames() []string { return coopt.StrategyNames() }
 
 // ParseSOC reads an SOC in the .soc text format.
 func ParseSOC(r io.Reader) (*SOC, error) { return soc.Parse(r) }
@@ -148,10 +168,17 @@ func SolveAssignment(in *Instance, nodeLimit int64) (Assignment, bool, error) {
 
 // Solve designs a complete test access architecture for the SOC with
 // the backend selected by Options.Strategy: the paper's partition flow
-// (the default, equal to CoOptimize) or rectangle bin-packing, whose
-// schedule is returned in Result.Packing. Partition evaluation runs on
-// Options.Workers goroutines (0 = all CPUs; 1 reproduces the paper's
-// sequential evaluation order exactly).
+// (the default, equal to CoOptimize), one of the two rectangle
+// bin-packing heuristics (whose schedule is returned in
+// Result.Packing), or the portfolio racer that runs all three
+// concurrently and returns the winner — never worse than the best
+// single backend, with ties broken in fixed strategy order and
+// per-backend attribution in Result.Portfolio. Partition evaluation
+// runs on Options.Workers goroutines (0 = all CPUs; 1 reproduces the
+// paper's sequential evaluation order exactly); the portfolio reserves
+// one resolved worker for each single-threaded packing racer and hands
+// the rest to the partition flow. Results are bit-for-bit identical at
+// any worker count.
 func Solve(s *SOC, totalWidth int, opt Options) (Result, error) {
 	return coopt.Solve(s, totalWidth, opt)
 }
@@ -171,6 +198,16 @@ func CoOptimize(s *SOC, totalWidth int, opt Options) (Result, error) {
 // to impose one ad hoc.
 func PackRectangles(s *SOC, totalWidth int) (*PackingSchedule, error) {
 	return pack.Pack(s, totalWidth, pack.Options{})
+}
+
+// PackRectanglesDiagonal is PackRectangles with the diagonal-length
+// heuristic of arXiv:1008.4446: best-fit-decreasing placement ordered
+// and tie-broken by the rectangle diagonal sqrt(w²+t²). Neither packer
+// dominates the other across SOCs and widths — Solve with
+// Options.Strategy StrategyPortfolio races both (and the partition
+// flow) and keeps the best.
+func PackRectanglesDiagonal(s *SOC, totalWidth int) (*PackingSchedule, error) {
+	return pack.PackDiagonal(s, totalWidth, pack.Options{})
 }
 
 // PackingLowerBound returns the rectangle-packing lower bound on the SOC
