@@ -19,13 +19,6 @@ import (
 	"soctam/internal/socdata"
 )
 
-var generators = map[string]func() *soctam.SOC{
-	"d695":   soctam.D695,
-	"p21241": soctam.P21241,
-	"p31108": soctam.P31108,
-	"p93791": soctam.P93791,
-}
-
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "socgen:", err)
@@ -46,10 +39,10 @@ func run() error {
 	var names []string
 	switch {
 	case *all:
-		names = []string{"d695", "p21241", "p31108", "p93791"}
+		names = soctam.BenchmarkNames()
 	case *name != "":
-		if _, ok := generators[*name]; !ok {
-			return fmt.Errorf("unknown benchmark %q", *name)
+		if _, err := soctam.BenchmarkSOC(*name); err != nil {
+			return err
 		}
 		names = []string{*name}
 	default:
@@ -57,7 +50,10 @@ func run() error {
 	}
 
 	for _, n := range names {
-		s := generators[n]()
+		s, err := soctam.BenchmarkSOC(n)
+		if err != nil {
+			return err
+		}
 		if *stdout {
 			if err := s.Encode(os.Stdout); err != nil {
 				return err

@@ -7,6 +7,7 @@
 //	tables                          # everything, paper parameters
 //	tables -only figure2,table1    # a subset
 //	tables -only packing           # rectangle packing vs partition flow
+//	tables -only serve             # serving-layer cache hit rate/throughput
 //	tables -widths 16,32,64        # reduced width sweep
 //	tables -node-limit 1000000     # budget per exact solve
 //	tables -workers 1              # paper's sequential partition order

@@ -25,17 +25,26 @@
 // paper's sequential order). -max-power imposes a peak-power ceiling on
 // concurrently running tests (0 uses the SOC's own maxpower attribute;
 // every backend honors it).
+//
+// -serve <addr> runs wtam as the solver service instead of solving one
+// job: the escape hatch for environments that only ship the wtam
+// binary. It takes no other flags; use the dedicated cmd/wtamd daemon
+// for the pool and cache knobs (see API.md and ARCHITECTURE.md §10).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"soctam"
+	"soctam/internal/serve"
 )
 
 func main() {
@@ -70,6 +79,7 @@ func run(args []string) error {
 		maxPower   = flags.Int("max-power", 0, "peak-power ceiling on concurrent tests (0 = the SOC's own maxpower, if any)")
 		verbose    = flags.Bool("v", false, "print per-core wrapper usage on the chosen architecture")
 		gantt      = flags.Bool("gantt", false, "print the test schedule as a Gantt chart with utilization")
+		serveAddr  = flags.String("serve", "", "run as the solver service on this address instead of solving (escape hatch for cmd/wtamd)")
 	)
 	if err := flags.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -77,6 +87,26 @@ func run(args []string) error {
 			return nil
 		}
 		return errBadFlags
+	}
+
+	if *serveAddr != "" {
+		// The service solves jobs it receives over HTTP; every local
+		// solve flag is meaningless, so reject any the user set. The
+		// daemon's own knobs (pool size, cache capacity) live on
+		// cmd/wtamd — this hatch serves with the defaults.
+		var set []string
+		flags.Visit(func(f *flag.Flag) {
+			if f.Name != "serve" {
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return fmt.Errorf("-serve takes no other flags (got %s); use cmd/wtamd for the pool and cache knobs",
+				strings.Join(set, ", "))
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return serve.Run(ctx, *serveAddr, serve.Config{}, os.Stdout)
 	}
 
 	s, err := loadSOC(*socPath, *benchmark)
@@ -330,17 +360,7 @@ func loadSOC(path, benchmark string) (*soctam.SOC, error) {
 		defer f.Close()
 		return soctam.ParseSOC(f)
 	case benchmark != "":
-		switch benchmark {
-		case "d695":
-			return soctam.D695(), nil
-		case "p21241":
-			return soctam.P21241(), nil
-		case "p31108":
-			return soctam.P31108(), nil
-		case "p93791":
-			return soctam.P93791(), nil
-		}
-		return nil, fmt.Errorf("unknown benchmark %q (have d695, p21241, p31108, p93791)", benchmark)
+		return soctam.BenchmarkSOC(benchmark)
 	}
 	return nil, fmt.Errorf("one of -soc or -benchmark is required")
 }

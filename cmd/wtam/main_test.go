@@ -121,3 +121,18 @@ func TestPartitionString(t *testing.T) {
 		t.Errorf("partitionString(nil) = %q", got)
 	}
 }
+
+// TestServeRejectsSolveFlags pins the -serve escape hatch contract:
+// it is all-or-nothing, naming every conflicting flag the user set and
+// pointing at cmd/wtamd for the real knobs.
+func TestServeRejectsSolveFlags(t *testing.T) {
+	err := run([]string{"-serve", ":0", "-benchmark", "d695", "-width", "32"})
+	if err == nil {
+		t.Fatal("-serve with solve flags accepted")
+	}
+	for _, want := range []string{"-benchmark", "-width", "wtamd"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

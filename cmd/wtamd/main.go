@@ -1,0 +1,76 @@
+// Command wtamd is the long-running wrapper/TAM solver daemon: an
+// HTTP/JSON service over the library's Solve entry point with a bounded
+// worker pool, a digest-keyed result cache and in-flight deduplication,
+// so repeated (and permuted, and reformatted) queries over the same
+// SOCs are answered from memory bit-for-bit identically to a cold
+// solve. See API.md for the endpoint reference and ARCHITECTURE.md §10
+// for the serving architecture.
+//
+// Usage:
+//
+//	wtamd                                  # 127.0.0.1:8080, all-CPU pool
+//	wtamd -addr :9090 -workers 4
+//	wtamd -addr 127.0.0.1:0                # free port, printed at startup
+//	wtamd -cache-size 65536 -solve-workers 2
+//
+// The daemon prints one "wtamd: listening on http://<host:port>" line
+// once the listener is up (with -addr port 0 this is how scripts learn
+// the real port) and serves until SIGINT/SIGTERM, then shuts down
+// gracefully: in-flight requests get a grace period before their solves
+// are cancelled.
+//
+// Endpoints: POST /v1/solve (one job), POST /v1/batch (many jobs,
+// NDJSON lines in completion order), GET /v1/healthz, GET /v1/stats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"soctam/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errBadFlags) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "wtamd:", err)
+		os.Exit(1)
+	}
+}
+
+// errBadFlags marks a flag parse failure the FlagSet already reported.
+var errBadFlags = errors.New("bad flags")
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	flags := flag.NewFlagSet("wtamd", flag.ContinueOnError)
+	var (
+		addr         = flags.String("addr", "127.0.0.1:8080", "address to listen on (port 0 picks a free port, printed at startup)")
+		workers      = flags.Int("workers", 0, "concurrently running solves (0 = all CPUs); further jobs queue")
+		solveWorkers = flags.Int("solve-workers", 0, "partition-evaluation goroutines per solve (0 = CPUs/workers); results are identical at any setting")
+		cacheSize    = flags.Int("cache-size", 0, "result-cache capacity in entries (0 = 1024, negative disables caching)")
+	)
+	if err := flags.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errBadFlags
+	}
+	if flags.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (wtamd takes only flags)", flags.Arg(0))
+	}
+	return serve.Run(ctx, *addr, serve.Config{
+		Workers:      *workers,
+		SolveWorkers: *solveWorkers,
+		CacheSize:    *cacheSize,
+	}, out)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the daemon goroutine and the test share stdout.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// The daemon end to end: start on a free port, solve d695 over HTTP,
+// read stats, shut down on context cancellation (the SIGINT path).
+func TestDaemonSolvesOverHTTP(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, out) }()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no listening line; output %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "wtamd: listening on "); ok {
+				base = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/solve", "application/json",
+		strings.NewReader(`{"benchmark":"d695","width":32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solve struct {
+		Result struct {
+			Time int64 `json:"time"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&solve); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if solve.Result.Time != 21566 { // d695, W=32 (EXPERIMENTS.md Table 3)
+		t.Errorf("testing time %d, want 21566", solve.Result.Time)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Jobs struct {
+			Completed int64 `json:"completed"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Jobs.Completed != 1 {
+		t.Errorf("completed %d jobs, want 1", stats.Jobs.Completed)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on cancellation")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, &syncBuffer{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"stray"}, &syncBuffer{}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}

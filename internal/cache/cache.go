@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a bounded, thread-safe least-recently-used map. The zero value
+// is not usable; construct with New.
+type LRU[K comparable, V any] struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; holds *entry[K, V]
+	items     map[K]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an empty LRU holding at most capacity entries; a
+// capacity below one is clamped to one (an unbounded cache would turn
+// a long-running service into a slow memory leak, so there is
+// deliberately no "no limit" setting).
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the value stored under key and marks it most recently
+// used. The boolean is false on a miss.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		l.misses++
+		var zero V
+		return zero, false
+	}
+	l.hits++
+	l.order.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put stores val under key, replacing any existing value and evicting
+// the least-recently-used entry if the cache is full.
+func (l *LRU[K, V]) Put(key K, val V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		l.order.MoveToFront(el)
+		return
+	}
+	if l.order.Len() >= l.capacity {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.items, oldest.Value.(*entry[K, V]).key)
+		l.evictions++
+	}
+	l.items[key] = l.order.PushFront(&entry[K, V]{key: key, val: val})
+}
+
+// Len returns the number of entries currently stored.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Len and Capacity are the current and maximum entry counts.
+	Len, Capacity int
+	// Hits and Misses count Get outcomes since construction.
+	Hits, Misses uint64
+	// Evictions counts entries dropped to make room.
+	Evictions uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any Get.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (l *LRU[K, V]) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Len:       l.order.Len(),
+		Capacity:  l.capacity,
+		Hits:      l.hits,
+		Misses:    l.misses,
+		Evictions: l.evictions,
+	}
+}

@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutAndEviction(t *testing.T) {
+	l := New[string, int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	// "a" is now most recently used, so inserting "c" must evict "b".
+	l.Put("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) after eviction = %d, %v; want 1, true", v, ok)
+	}
+	if v, ok := l.Get("c"); !ok || v != 3 {
+		t.Errorf("Get(c) = %d, %v; want 3, true", v, ok)
+	}
+	st := l.Stats()
+	if st.Len != 2 || st.Capacity != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v; want len 2, cap 2, 1 eviction", st)
+	}
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Errorf("stats = %+v; want 3 hits, 2 misses", st)
+	}
+	if got, want := st.HitRate(), 3.0/5.0; got != want {
+		t.Errorf("hit rate = %g, want %g", got, want)
+	}
+}
+
+func TestPutReplacesInPlace(t *testing.T) {
+	l := New[string, int](2)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Put("a", 10) // replacement, not insertion: nothing may be evicted
+	if st := l.Stats(); st.Evictions != 0 || st.Len != 2 {
+		t.Errorf("replacement evicted: %+v", st)
+	}
+	if v, _ := l.Get("a"); v != 10 {
+		t.Errorf("Get(a) = %d after replacement, want 10", v)
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	l := New[int, int](-5)
+	l.Put(1, 1)
+	l.Put(2, 2)
+	if st := l.Stats(); st.Capacity != 1 || st.Len != 1 {
+		t.Errorf("clamped cache stats = %+v; want capacity 1, len 1", st)
+	}
+}
+
+func TestZeroHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Errorf("empty hit rate = %g, want 0", r)
+	}
+}
+
+// The cache is hit concurrently by every service worker; exercise it
+// under the race detector.
+func TestConcurrentAccess(t *testing.T) {
+	l := New[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 100
+				if v, ok := l.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+				l.Put(k, k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() > 64 {
+		t.Errorf("len %d exceeds capacity", l.Len())
+	}
+}
+
+func ExampleLRU() {
+	l := New[string, string](2)
+	l.Put("x", "ex")
+	l.Put("y", "why")
+	l.Get("x")
+	l.Put("z", "zed") // evicts "y", the least recently used
+	_, okY := l.Get("y")
+	x, _ := l.Get("x")
+	fmt.Println(x, okY, l.Stats().Evictions)
+	// Output: ex false 1
+}

@@ -1,0 +1,64 @@
+package coopt
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"soctam/internal/socdata"
+)
+
+// A pre-cancelled context must stop every backend with the context's
+// own error and no partial result.
+func TestSolveContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := socdata.D695()
+	for _, strat := range []Strategy{StrategyPartition, StrategyPacking, StrategyDiagonal, StrategyPortfolio} {
+		_, err := SolveContext(ctx, s, 32, Options{Strategy: strat, Workers: 1})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: cancelled solve returned %v, want context.Canceled", strat, err)
+		}
+	}
+}
+
+// A background context must reproduce Solve bit for bit: threading the
+// context through may never change a completed run.
+func TestSolveContextMatchesSolve(t *testing.T) {
+	s := socdata.D695()
+	for _, strat := range []Strategy{StrategyPartition, StrategyPacking, StrategyPortfolio} {
+		opt := Options{Strategy: strat, Workers: 1}
+		a, err := Solve(s, 24, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		b, err := SolveContext(context.Background(), s, 24, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if a.Time != b.Time || a.NumTAMs != b.NumTAMs {
+			t.Errorf("%v: SolveContext got %d cycles / %d TAMs, Solve got %d / %d",
+				strat, b.Time, b.NumTAMs, a.Time, a.NumTAMs)
+		}
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	n := Options{Workers: 8, NodeLimit: -3, ILPNodeLimit: -1, MaxPower: -2}.Normalized()
+	if n.Workers != 0 || n.NodeLimit != 0 || n.ILPNodeLimit != 0 || n.MaxPower != 0 {
+		t.Errorf("sentinels survived normalization: %+v", n)
+	}
+	if n.MaxTAMs != 10 {
+		t.Errorf("MaxTAMs defaulted to %d, want 10", n.MaxTAMs)
+	}
+	// Normalizing must be idempotent and must not touch result-relevant
+	// fields.
+	o := Options{MaxTAMs: 4, Strategy: StrategyPacking, MaxPower: 1800, SkipFinal: true, Workers: 3}
+	n = o.Normalized()
+	if n.MaxTAMs != 4 || n.Strategy != StrategyPacking || n.MaxPower != 1800 || !n.SkipFinal {
+		t.Errorf("normalization altered result-relevant fields: %+v", n)
+	}
+	if n != n.Normalized() {
+		t.Error("Normalized is not idempotent")
+	}
+}

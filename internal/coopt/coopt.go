@@ -194,6 +194,31 @@ func (o Options) effectiveCeiling(s *soc.SOC) int {
 	return ceiling
 }
 
+// Normalized returns the options with every defaulted field resolved
+// to its effective value and the result-neutral knobs cleared — the
+// canonical form a result cache should key on. Two Options with equal
+// Normalized values produce identical architectures and testing times
+// for the same SOC and width: Workers is zeroed because results are
+// bit-for-bit identical at any worker count (only the order-dependent
+// Stats split can differ, and solely when more than one worker runs),
+// and negative "use the default" sentinels collapse onto their
+// defaults. The serving layer (internal/serve) keys its cache on this
+// form so requests differing only in parallelism share one entry.
+func (o Options) Normalized() Options {
+	o.MaxTAMs = o.maxTAMs()
+	o.Workers = 0
+	if o.NodeLimit < 0 {
+		o.NodeLimit = 0
+	}
+	if o.ILPNodeLimit < 0 {
+		o.ILPNodeLimit = 0
+	}
+	if o.MaxPower < 0 {
+		o.MaxPower = 0
+	}
+	return o
+}
+
 func (o Options) workers() int {
 	if o.Workers == 0 {
 		return runtime.GOMAXPROCS(0)
@@ -527,15 +552,27 @@ func solveExact(in *assign.Instance, opt Options) (assign.Assignment, bool, erro
 // two rectangle bin-packing backends (package pack), and the portfolio
 // racer that runs all three concurrently.
 func Solve(s *soc.SOC, width int, opt Options) (Result, error) {
+	return SolveContext(context.Background(), s, width, opt)
+}
+
+// SolveContext is Solve with cancellation: every backend polls ctx (the
+// partition flow every cancelCheckMask+1 partitions, the packers at
+// each placement budget, the portfolio through each racer's derived
+// context) and returns ctx's error once it fires. Cancellation never
+// alters the result of a run that completes — it is the seam the
+// serving layer (internal/serve) uses to abandon in-flight solves on
+// shutdown, and what the portfolio racer builds its consequence-free
+// backend cancellation on.
+func SolveContext(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
 	switch opt.Strategy {
 	case StrategyPacking:
-		return solvePacking(context.Background(), s, width, opt)
+		return solvePacking(ctx, s, width, opt)
 	case StrategyDiagonal:
-		return solveDiagonal(context.Background(), s, width, opt)
+		return solveDiagonal(ctx, s, width, opt)
 	case StrategyPortfolio:
-		return solvePortfolio(s, width, opt)
+		return solvePortfolio(ctx, s, width, opt)
 	}
-	return CoOptimize(s, width, opt)
+	return coOptimize(ctx, s, width, opt)
 }
 
 // PartitionEvaluate solves P_PAW heuristically for a fixed TAM count:

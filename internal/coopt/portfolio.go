@@ -127,7 +127,9 @@ func (o Options) PortfolioPartitionParallel() bool { return o.portfolioPartition
 // algorithm unchanged (so the portfolio time equals the minimum of the
 // single-backend times, bit for bit at any Workers setting); the
 // incumbent bound cancels a backend only when it provably cannot win.
-func solvePortfolio(s *soc.SOC, width int, opt Options) (Result, error) {
+// The backends' contexts derive from the caller's parent ctx, so
+// cancelling it stops the whole race (SolveContext's contract).
+func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
 	started := time.Now()
 	tables, err := TimeTables(s, width) // validates SOC and width up front
 	if err != nil {
@@ -162,7 +164,7 @@ func solvePortfolio(s *soc.SOC, width int, opt Options) (Result, error) {
 	done := make(chan int, len(backends))
 	var wg sync.WaitGroup
 	for i, b := range backends {
-		ctx, cancel := context.WithCancel(context.Background())
+		ctx, cancel := context.WithCancel(parent)
 		cancels[i] = cancel
 		wg.Add(1)
 		go func(i int, run func(context.Context) (Result, error), order int) {
@@ -216,6 +218,12 @@ func solvePortfolio(s *soc.SOC, width int, opt Options) (Result, error) {
 		}
 	}
 	if winner < 0 {
+		// With no winner at all, distinguish "the caller cancelled the
+		// race" (every backend reports context.Canceled, msgs below would
+		// be empty) from "every backend genuinely failed".
+		if err := parent.Err(); err != nil {
+			return Result{}, err
+		}
 		var msgs []string
 		for i, b := range backends {
 			if results[i].err != nil && !runs[i].Cancelled {

@@ -77,6 +77,7 @@ var registry = map[string]Generator{
 	"packing":    PackingVsPartition,
 	"power":      PowerSweep,
 	"portfolio":  PortfolioVsSingle,
+	"serve":      ServeCache,
 }
 
 // Names returns the registered experiment names in order.
@@ -126,21 +127,12 @@ func orderedNames() []string {
 		"figure2", "table1", "table2", "table3", "table4", "table5-6",
 		"table7", "table8", "table9-10", "table11-12", "table13",
 		"table14", "table15-16", "table17-18", "table19", "packing",
-		"power", "portfolio",
+		"power", "portfolio", "serve",
 	}
 }
 
-// benchmarkSOC resolves the paper's SOCs by name.
+// benchmarkSOC resolves the paper's SOCs by name (the shared
+// socdata.ByName dispatch).
 func benchmarkSOC(name string) (*soc.SOC, error) {
-	switch name {
-	case "d695":
-		return socdata.D695(), nil
-	case "p21241":
-		return socdata.P21241(), nil
-	case "p31108":
-		return socdata.P31108(), nil
-	case "p93791":
-		return socdata.P93791(), nil
-	}
-	return nil, fmt.Errorf("experiments: unknown benchmark SOC %q", name)
+	return socdata.ByName(name)
 }

@@ -230,3 +230,36 @@ func TestBenchmarkSOCs(t *testing.T) {
 		t.Error("unknown SOC accepted")
 	}
 }
+
+// TestServeCacheExperiment runs the serving experiment at the quick
+// scale and checks the cached pass actually hit: with serveRepeats
+// passes over the same widths, at most 1/serveRepeats of jobs can be
+// distinct.
+func TestServeCacheExperiment(t *testing.T) {
+	tables, err := Run("serve", quickOpt())
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("serve produced %d tables, want 1", len(tables))
+	}
+	if len(tables[0].Rows) != 4 {
+		t.Fatalf("serve table has %d rows, want 4 SOCs", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		jobs, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("bad jobs cell %q", row[1])
+		}
+		distinct, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("bad distinct cell %q", row[2])
+		}
+		if want := jobs / serveRepeats; distinct != want {
+			t.Errorf("%s: %d distinct solves for %d jobs, want %d", row[0], distinct, jobs, want)
+		}
+		if row[4] == "0%" {
+			t.Errorf("%s: zero hit rate", row[0])
+		}
+	}
+}

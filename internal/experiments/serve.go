@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"soctam/internal/report"
+	"soctam/internal/serve"
+	"soctam/internal/soc"
+)
+
+// serveRepeats is how many times each (SOC, width) job appears in the
+// serving workload. Every repeat after the first queries a different
+// core permutation of the same SOC, so the hit rate also measures the
+// canonical-digest layer, not just literal repetition.
+const serveRepeats = 4
+
+// ServeCache measures the serving layer on the repeated-query workload
+// the batch service exists for (ARCHITECTURE.md §10): for each
+// benchmark SOC, a workload of widths × serveRepeats jobs — each repeat
+// a permuted clone of the SOC — is pushed through a Server twice, once
+// with the result cache disabled and once enabled. Reported per SOC:
+// the job mix, the measured hit rate, both wall clocks, the speedup,
+// and cached throughput. Cycle counts need no table of their own — the
+// service is asserted elsewhere (internal/serve tests) to return
+// bit-for-bit the same results as the direct solves, so only the
+// serving economics are interesting here. This experiment has no
+// counterpart in the source paper.
+func ServeCache(opt Options) ([]*report.Table, error) {
+	t := &report.Table{
+		Title: "Serving layer: cache hit rate and throughput on repeated (SOC, width) queries",
+		Header: []string{"SOC", "jobs", "distinct", "hits", "hit rate",
+			"t_nocache (s)", "t_cached (s)", "speedup", "jobs/s cached"},
+	}
+	for _, name := range []string{"d695", "p21241", "p31108", "p93791"} {
+		s, err := benchmarkSOC(name)
+		if err != nil {
+			return nil, err
+		}
+		jobs := serveWorkload(s, opt.widths())
+
+		// Workers: 1 matches the sequential submission below — the one
+		// pool slot in use gets every CPU for its solve (SolveWorkers
+		// resolves to GOMAXPROCS), so the wall clocks reflect full solve
+		// parallelism rather than leaving CPUs idle.
+		uncachedSecs, _, err := runServeWorkload(serve.Config{Workers: 1, CacheSize: -1}, jobs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s uncached: %w", name, err)
+		}
+		cachedSecs, stats, err := runServeWorkload(serve.Config{Workers: 1}, jobs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s cached: %w", name, err)
+		}
+
+		speedup := 0.0
+		if cachedSecs > 0 {
+			speedup = uncachedSecs / cachedSecs
+		}
+		throughput := 0.0
+		if cachedSecs > 0 {
+			throughput = float64(len(jobs)) / cachedSecs
+		}
+		t.AddRow(name,
+			fmt.Sprint(len(jobs)),
+			fmt.Sprint(stats.Jobs.Solved),
+			fmt.Sprint(stats.Cache.Hits),
+			fmt.Sprintf("%.0f%%", 100*stats.Cache.HitRate),
+			fmt.Sprintf("%.3f", uncachedSecs),
+			fmt.Sprintf("%.3f", cachedSecs),
+			fmt.Sprintf("%.1fx", speedup),
+			fmt.Sprintf("%.0f", throughput),
+		)
+	}
+	t.AddNote("each (SOC, width) job repeats %d times; every repeat permutes the core order, so hits prove the canonical digest, not literal repetition", serveRepeats)
+	t.AddNote("distinct = cold solves actually run; t_nocache re-solves every job (cache disabled, same Server code path)")
+	return []*report.Table{t}, nil
+}
+
+// serveJob is one queued query: a (possibly permuted) SOC at a width.
+type serveJob struct {
+	s     *soc.SOC
+	width int
+}
+
+// serveWorkload builds the repeated-query job list: widths ×
+// serveRepeats jobs, repeats r > 0 shuffled with seed r so permuted
+// duplicates are spread through the run.
+func serveWorkload(s *soc.SOC, widths []int) []serveJob {
+	var jobs []serveJob
+	for r := 0; r < serveRepeats; r++ {
+		q := s
+		if r > 0 {
+			q = s.Clone()
+			rng := rand.New(rand.NewSource(int64(r)))
+			rng.Shuffle(len(q.Cores), func(i, j int) { q.Cores[i], q.Cores[j] = q.Cores[j], q.Cores[i] })
+		}
+		for _, w := range widths {
+			jobs = append(jobs, serveJob{s: q, width: w})
+		}
+	}
+	return jobs
+}
+
+// runServeWorkload pushes the jobs through one Server sequentially
+// (the serial wall clock is what makes the cached/uncached ratio
+// interpretable on any machine) and returns the elapsed seconds plus
+// the server's final stats.
+func runServeWorkload(cfg serve.Config, jobs []serveJob, opt Options) (float64, serve.Stats, error) {
+	sv := serve.New(cfg)
+	defer sv.Close()
+	cooptOpt := opt.cooptOptions()
+	start := time.Now()
+	for _, j := range jobs {
+		if _, _, err := sv.Solve(context.Background(), j.s, j.width, cooptOpt); err != nil {
+			return 0, serve.Stats{}, err
+		}
+	}
+	return time.Since(start).Seconds(), sv.Stats(), nil
+}

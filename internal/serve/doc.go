@@ -1,0 +1,22 @@
+// Package serve is the long-running wrapper/TAM solver service: an
+// HTTP/JSON API over coopt.Solve with a bounded worker pool, a
+// digest-keyed LRU result cache, and in-flight deduplication of
+// identical queries (ARCHITECTURE.md §10; endpoint reference in
+// API.md).
+//
+// The endpoints are POST /v1/solve (one job), POST /v1/batch (many
+// jobs, answered as NDJSON lines in completion order), GET /v1/healthz
+// and GET /v1/stats. Command wtamd is the production entry point and
+// "wtam -serve" the escape hatch; both run Run, which listens, prints
+// the bound address and serves until the context is cancelled.
+//
+// Every query is first canonicalized: the SOC's cores are re-sorted
+// into the content-digest order of internal/soc, the solve runs (or is
+// found cached) in that order, and the result is re-indexed onto the
+// query's own core order. Cache hits are therefore bit-for-bit
+// identical to cold solves — for repeated, permuted and reformatted
+// queries alike — because both paths return the same deterministic
+// canonical result through the same pure re-indexing step. See
+// ARCHITECTURE.md §10 for the full coherence argument and the
+// worker-pool sizing guidance.
+package serve

@@ -1,0 +1,69 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"soctam/internal/serve"
+)
+
+// Example_clientSolve is the client side of the solve-via-HTTP path
+// documented in API.md: POST a job to /v1/solve and read the testing
+// time back. Against a real daemon the URL would be the address wtamd
+// printed at startup; here an in-process test server stands in.
+func Example_clientSolve() {
+	sv := serve.New(serve.Config{})
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	body := `{"benchmark": "d695", "width": 32}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+
+	var out struct {
+		Cached bool `json:"cached"`
+		Result struct {
+			Time      int64 `json:"time"`
+			NumTAMs   int   `json:"num_tams"`
+			Partition []int `json:"partition"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d TAMs %v, %d cycles (cached=%v)\n",
+		out.Result.NumTAMs, out.Result.Partition, out.Result.Time, out.Cached)
+
+	// The identical query again: answered from the result cache, bit
+	// for bit the same architecture.
+	resp2, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp2.Body.Close()
+	var out2 struct {
+		Cached bool `json:"cached"`
+		Result struct {
+			Time int64 `json:"time"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d cycles (cached=%v)\n", out2.Result.Time, out2.Cached)
+
+	// Output:
+	// 5 TAMs [4 4 6 9 9], 21566 cycles (cached=false)
+	// 21566 cycles (cached=true)
+}

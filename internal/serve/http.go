@@ -1,0 +1,449 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"soctam/internal/coopt"
+	"soctam/internal/soc"
+	"soctam/internal/socdata"
+)
+
+// The HTTP/JSON surface of the service. Wire formats are explicit DTO
+// structs — never the internal coopt types — so the public API (see
+// API.md for the schema reference) survives internal refactors.
+
+// solveRequest is the body of POST /v1/solve and each element of a
+// /v1/batch jobs array. Exactly one of SOC (inline .soc text) and
+// Benchmark (a built-in SOC name) must be set.
+type solveRequest struct {
+	SOC       string       `json:"soc,omitempty"`
+	Benchmark string       `json:"benchmark,omitempty"`
+	Width     int          `json:"width"`
+	Options   *optionsJSON `json:"options,omitempty"`
+}
+
+// optionsJSON mirrors the result-affecting wtam flags. Parallelism is
+// the daemon's business (Config), so there is deliberately no
+// "workers" field — it could not change any result, only split cache
+// entries if it leaked into the key.
+type optionsJSON struct {
+	Strategy    string `json:"strategy,omitempty"`
+	MaxTAMs     int    `json:"max_tams,omitempty"`
+	MaxPower    int    `json:"max_power,omitempty"`
+	FinalSolver string `json:"final_solver,omitempty"`
+	NodeLimit   int64  `json:"node_limit,omitempty"`
+}
+
+// solveResponse is the body of a successful POST /v1/solve (and, with
+// a job index, one /v1/batch NDJSON line).
+type solveResponse struct {
+	// Digest is the canonical SOC content digest; Key the full cache
+	// key (digest + width + normalized options).
+	Digest string `json:"digest"`
+	Key    string `json:"key"`
+	// Cached and Coalesced report how the job was answered: from the
+	// result cache, or by sharing an identical in-flight solve.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// ElapsedMS is this request's service time; Result.SolveMS is the
+	// populating solve's own cost (they differ on cache hits).
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Result    resultJSON `json:"result"`
+}
+
+// resultJSON is the wire form of a coopt.Result, indexed on the
+// query's own core order.
+type resultJSON struct {
+	TotalWidth        int              `json:"total_width"`
+	Strategy          string           `json:"strategy"`
+	Time              int64            `json:"time"`
+	HeuristicTime     int64            `json:"heuristic_time"`
+	NumTAMs           int              `json:"num_tams,omitempty"`
+	Partition         []int            `json:"partition,omitempty"`
+	Assignment        []int            `json:"assignment,omitempty"`
+	AssignmentOptimal bool             `json:"assignment_optimal,omitempty"`
+	MaxPower          int              `json:"max_power,omitempty"`
+	PeakPower         int              `json:"peak_power,omitempty"`
+	SolveMS           float64          `json:"solve_ms"`
+	Stats             *statsJSON       `json:"stats,omitempty"`
+	Packing           *packingJSON     `json:"packing,omitempty"`
+	Portfolio         []backendRunJSON `json:"portfolio,omitempty"`
+}
+
+type statsJSON struct {
+	Enumerated      int `json:"enumerated"`
+	Completed       int `json:"completed"`
+	Aborted         int `json:"aborted"`
+	Improved        int `json:"improved"`
+	PowerInfeasible int `json:"power_infeasible,omitempty"`
+}
+
+type packingJSON struct {
+	Makespan int64      `json:"makespan"`
+	Bound    int64      `json:"bound"`
+	Rects    []rectJSON `json:"rects"`
+}
+
+type rectJSON struct {
+	Core  int    `json:"core"`
+	Name  string `json:"name,omitempty"`
+	Wire  int    `json:"wire"`
+	Width int    `json:"width"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+	Power int    `json:"power,omitempty"`
+}
+
+type backendRunJSON struct {
+	Strategy  string  `json:"strategy"`
+	Time      int64   `json:"time,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Cancelled bool    `json:"cancelled,omitempty"`
+	Err       string  `json:"error,omitempty"`
+	Winner    bool    `json:"winner,omitempty"`
+}
+
+// errorJSON is every error body: {"error": {"code": ..., "message": ...}}.
+type errorJSON struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpError carries a status and machine-readable code alongside the
+// message; every handler failure is one of these.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, code: "bad_request", msg: fmt.Sprintf(format, args...)}
+}
+
+// asHTTPError classifies an error from the solve path. Solver failures
+// are the client's problem statement (infeasible width, power ceiling
+// no schedule fits under), not the server's, hence 422.
+func asHTTPError(err error) *httpError {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he
+	case errors.Is(err, ErrShuttingDown):
+		return &httpError{status: http.StatusServiceUnavailable, code: "shutting_down", msg: err.Error()}
+	default:
+		return &httpError{status: http.StatusUnprocessableEntity, code: "unsolvable", msg: err.Error()}
+	}
+}
+
+// ErrShuttingDown is wrapped into solve errors once Close (or the Run
+// context) has fired; HTTP maps it to 503.
+var ErrShuttingDown = errors.New("server is shutting down")
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // a failed write means the client went away
+}
+
+func writeError(w http.ResponseWriter, he *httpError) {
+	writeJSON(w, he.status, errorJSON{Error: errorBody{Code: he.code, Message: he.msg}})
+}
+
+// parseJob turns a request into a solvable job.
+func parseJob(req *solveRequest) (*soc.SOC, int, coopt.Options, *httpError) {
+	var s *soc.SOC
+	switch {
+	case req.SOC != "" && req.Benchmark != "":
+		return nil, 0, coopt.Options{}, badRequest(`use either "soc" or "benchmark", not both`)
+	case req.SOC != "":
+		parsed, err := soc.ParseString(req.SOC)
+		if err != nil {
+			return nil, 0, coopt.Options{}, badRequest("bad soc text: %v", err)
+		}
+		s = parsed
+	case req.Benchmark != "":
+		bench, err := socdata.ByName(req.Benchmark)
+		if err != nil {
+			return nil, 0, coopt.Options{}, badRequest("%v", err)
+		}
+		s = bench
+	default:
+		return nil, 0, coopt.Options{}, badRequest(`one of "soc" or "benchmark" is required`)
+	}
+	if req.Width < 1 {
+		return nil, 0, coopt.Options{}, badRequest("width %d < 1", req.Width)
+	}
+	var opt coopt.Options
+	if o := req.Options; o != nil {
+		if o.Strategy != "" {
+			strat, err := coopt.ParseStrategy(o.Strategy)
+			if err != nil {
+				return nil, 0, coopt.Options{}, badRequest("%v", err)
+			}
+			opt.Strategy = strat
+		}
+		switch o.FinalSolver {
+		case "", "bb":
+		case "ilp":
+			opt.FinalSolver = coopt.SolverILP
+		default:
+			return nil, 0, coopt.Options{}, badRequest(`unknown final_solver %q (valid: "bb", "ilp")`, o.FinalSolver)
+		}
+		if o.MaxTAMs < 0 {
+			return nil, 0, coopt.Options{}, badRequest("max_tams %d < 0", o.MaxTAMs)
+		}
+		if o.MaxPower < 0 {
+			return nil, 0, coopt.Options{}, badRequest("max_power %d < 0", o.MaxPower)
+		}
+		opt.MaxTAMs = o.MaxTAMs
+		opt.MaxPower = o.MaxPower
+		opt.NodeLimit = o.NodeLimit
+	}
+	return s, req.Width, opt, nil
+}
+
+// decodeStrict decodes JSON rejecting unknown fields (catching typos
+// like "widht" that would otherwise silently solve the wrong job) and
+// trailing garbage.
+func decodeStrict(r *http.Request, v any) *httpError {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{status: http.StatusRequestEntityTooLarge, code: "too_large",
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return badRequest("bad request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// Handler returns the service's HTTP handler: POST /v1/solve, POST
+// /v1/batch, GET /v1/healthz, GET /v1/stats. Every response is JSON
+// (NDJSON for batch); see API.md for the schemas, error codes and curl
+// examples.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", method(http.MethodPost, sv.handleSolve))
+	mux.HandleFunc("/v1/batch", method(http.MethodPost, sv.handleBatch))
+	mux.HandleFunc("/v1/healthz", method(http.MethodGet, sv.handleHealthz))
+	mux.HandleFunc("/v1/stats", method(http.MethodGet, sv.handleStats))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &httpError{status: http.StatusNotFound, code: "not_found",
+			msg: fmt.Sprintf("no such endpoint %s (have /v1/solve, /v1/batch, /v1/healthz, /v1/stats)", r.URL.Path)})
+	})
+	return mux
+}
+
+// method wraps a handler with a uniform JSON 405 for wrong methods.
+func method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			w.Header().Set("Allow", want)
+			writeError(w, &httpError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+				msg: fmt.Sprintf("%s requires %s, got %s", r.URL.Path, want, r.Method)})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (sv *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.maxBodyBytes())
+	var req solveRequest
+	if he := decodeStrict(r, &req); he != nil {
+		sv.failed.Add(1) // count like a malformed batch job would be
+		writeError(w, he)
+		return
+	}
+	resp, he := sv.solveOne(r, &req)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveOne runs one parsed request through the service and shapes the
+// response; shared by /v1/solve and each /v1/batch job.
+func (sv *Server) solveOne(r *http.Request, req *solveRequest) (*solveResponse, *httpError) {
+	s, width, opt, he := parseJob(req)
+	if he != nil {
+		sv.failed.Add(1) // parse failures never reach Solve's own counters
+		return nil, he
+	}
+	res, meta, err := sv.Solve(r.Context(), s, width, opt)
+	if err != nil {
+		if sv.base.Err() != nil {
+			err = fmt.Errorf("%w: %v", ErrShuttingDown, err)
+		}
+		return nil, asHTTPError(err)
+	}
+	return &solveResponse{
+		Digest:    meta.Digest,
+		Key:       meta.Key,
+		Cached:    meta.Cached,
+		Coalesced: meta.Coalesced,
+		ElapsedMS: float64(meta.Elapsed) / float64(time.Millisecond),
+		Result:    toResultJSON(s, res),
+	}, nil
+}
+
+func toResultJSON(s *soc.SOC, res coopt.Result) resultJSON {
+	out := resultJSON{
+		TotalWidth:        res.TotalWidth,
+		Strategy:          res.Strategy.String(),
+		Time:              int64(res.Time),
+		HeuristicTime:     int64(res.HeuristicTime),
+		NumTAMs:           res.NumTAMs,
+		Partition:         res.Partition,
+		Assignment:        res.Assignment.TAMOf,
+		AssignmentOptimal: res.AssignmentOptimal,
+		MaxPower:          res.MaxPower,
+		PeakPower:         res.PeakPower,
+		SolveMS:           float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if res.Strategy == coopt.StrategyPartition && res.Packing == nil {
+		st := statsJSON(res.Stats)
+		out.Stats = &st
+	}
+	if res.Packing != nil {
+		p := &packingJSON{
+			Makespan: int64(res.Packing.Makespan),
+			Bound:    int64(res.Packing.Bound),
+			Rects:    make([]rectJSON, len(res.Packing.Rects)),
+		}
+		for i := range res.Packing.Rects {
+			rect := &res.Packing.Rects[i]
+			p.Rects[i] = rectJSON{
+				Core:  rect.Core,
+				Name:  s.Cores[rect.Core].Name,
+				Wire:  rect.Wire,
+				Width: rect.Width,
+				Start: int64(rect.Start),
+				End:   int64(rect.End),
+				Power: rect.Power,
+			}
+		}
+		out.Packing = p
+	}
+	for _, run := range res.Portfolio {
+		out.Portfolio = append(out.Portfolio, backendRunJSON{
+			Strategy:  run.Strategy.String(),
+			Time:      int64(run.Time),
+			ElapsedMS: float64(run.Elapsed) / float64(time.Millisecond),
+			Cancelled: run.Cancelled,
+			Err:       run.Err,
+			Winner:    run.Winner,
+		})
+	}
+	return out
+}
+
+// batchRequest is the body of POST /v1/batch. Jobs are raw so one
+// malformed job fails that job's line, not the whole batch.
+type batchRequest struct {
+	Jobs []json.RawMessage `json:"jobs"`
+}
+
+// batchLine is one NDJSON line of the batch response: the job's index
+// in the request array plus either a full solve response or an error.
+type batchLine struct {
+	Job int `json:"job"`
+	*solveResponse
+	Error *errorBody `json:"error,omitempty"`
+}
+
+func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.maxBodyBytes())
+	var req batchRequest
+	if he := decodeStrict(r, &req); he != nil {
+		sv.failed.Add(1) // a whole-batch rejection counts once
+		writeError(w, he)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		sv.failed.Add(1)
+		writeError(w, badRequest("batch has no jobs"))
+		return
+	}
+	if max := sv.cfg.maxBatchJobs(); len(req.Jobs) > max {
+		sv.failed.Add(1)
+		writeError(w, &httpError{status: http.StatusRequestEntityTooLarge, code: "too_large",
+			msg: fmt.Sprintf("batch has %d jobs, limit is %d", len(req.Jobs), max)})
+		return
+	}
+
+	// Fan the jobs out; the worker pool bounds actual solving, so a
+	// goroutine per job only parks cheap waiters. Lines stream back in
+	// completion order — the "job" index is the client's correlation
+	// handle.
+	lines := make(chan batchLine)
+	var wg sync.WaitGroup
+	for i, raw := range req.Jobs {
+		wg.Add(1)
+		go func(i int, raw json.RawMessage) {
+			defer wg.Done()
+			var jr solveRequest
+			dec := json.NewDecoder(strings.NewReader(string(raw)))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&jr); err != nil {
+				sv.failed.Add(1)
+				he := badRequest("job %d: %v", i, err)
+				lines <- batchLine{Job: i, Error: &errorBody{Code: he.code, Message: he.msg}}
+				return
+			}
+			resp, he := sv.solveOne(r, &jr)
+			if he != nil {
+				lines <- batchLine{Job: i, Error: &errorBody{Code: he.code, Message: he.msg}}
+				return
+			}
+			lines <- batchLine{Job: i, solveResponse: resp}
+		}(i, raw)
+	}
+	go func() { wg.Wait(); close(lines) }()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for line := range lines {
+		// Encode failures mean the client disconnected; keep draining so
+		// the workers can finish and populate the cache.
+		_ = enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (sv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(sv.started).Seconds(),
+	})
+}
+
+func (sv *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, sv.Stats())
+}

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soctam/internal/cache"
+	"soctam/internal/coopt"
+	"soctam/internal/soc"
+)
+
+// Service limits. They bound memory, not correctness: a cache entry is
+// one coopt.Result (a few KB), and batch responses stream, so the batch
+// cap only limits how much request JSON is held at once.
+const (
+	// DefaultCacheSize is the result-cache capacity in entries when
+	// Config.CacheSize is zero.
+	DefaultCacheSize = 1024
+	// DefaultMaxBatchJobs caps the jobs accepted in one /v1/batch body
+	// when Config.MaxBatchJobs is zero.
+	DefaultMaxBatchJobs = 1000
+	// DefaultMaxBodyBytes caps a request body when Config.MaxBodyBytes
+	// is zero (industrial .soc descriptions are a few KB; 32 MiB leaves
+	// three orders of magnitude of headroom).
+	DefaultMaxBodyBytes = 32 << 20
+)
+
+// Config tunes a Server. The zero value serves with all-CPU worker
+// parallelism and a DefaultCacheSize-entry cache.
+type Config struct {
+	// Workers bounds the number of concurrently running solves (the
+	// worker pool); 0 means runtime.GOMAXPROCS(0). Requests beyond it
+	// queue on the pool.
+	Workers int
+	// SolveWorkers is the coopt.Options.Workers value forced into every
+	// solve; 0 splits the CPUs across the pool (GOMAXPROCS / Workers,
+	// at least 1). Results are bit-for-bit identical at any setting, so
+	// this is purely a latency/throughput trade (ARCHITECTURE.md §10).
+	SolveWorkers int
+	// CacheSize is the result-cache capacity in entries: 0 means
+	// DefaultCacheSize, negative disables caching entirely (every job
+	// solves cold; in-flight deduplication still applies).
+	CacheSize int
+	// MaxBatchJobs caps the jobs in one /v1/batch request; 0 means
+	// DefaultMaxBatchJobs.
+	MaxBatchJobs int
+	// MaxBodyBytes caps a request body in bytes; 0 means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) solveWorkers() int {
+	if c.SolveWorkers > 0 {
+		return c.SolveWorkers
+	}
+	w := runtime.GOMAXPROCS(0) / c.workers()
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+func (c Config) maxBatchJobs() int {
+	if c.MaxBatchJobs < 1 {
+		return DefaultMaxBatchJobs
+	}
+	return c.MaxBatchJobs
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes < 1 {
+		return DefaultMaxBodyBytes
+	}
+	return c.MaxBodyBytes
+}
+
+// Server multiplexes coopt.Solve across requests: a bounded worker
+// pool, an LRU cache of canonical results keyed by SOC digest plus
+// normalized options, and in-flight deduplication so concurrent
+// identical queries share one solve. Construct with New; Close releases
+// it (cancelling any in-flight solves).
+type Server struct {
+	cfg     Config
+	sem     chan struct{}                    // worker-pool slots
+	results *cache.LRU[string, coopt.Result] // canonical-order results; nil = disabled
+	base    context.Context                  // lifecycle of every solve
+	cancel  context.CancelFunc
+	closed  sync.Once
+	started time.Time
+
+	fmu     sync.Mutex         // guards flights
+	flights map[string]*flight // key -> in-flight cold solve
+
+	completed  atomic.Int64 // jobs answered successfully
+	failed     atomic.Int64 // jobs answered with an error
+	inFlight   atomic.Int64 // solves currently holding a pool slot
+	solved     atomic.Int64 // cold solves actually run
+	coalesced  atomic.Int64 // jobs served by waiting on another's solve
+	solveNanos atomic.Int64 // summed cold-solve wall clock
+}
+
+// flight is one in-progress cold solve; followers for the same key wait
+// on done and share the canonical result instead of re-solving.
+type flight struct {
+	done chan struct{}
+	res  coopt.Result
+	err  error
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	base, cancel := context.WithCancel(context.Background())
+	sv := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.workers()),
+		base:    base,
+		cancel:  cancel,
+		started: time.Now(),
+		flights: make(map[string]*flight),
+	}
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		sv.results = cache.New[string, coopt.Result](size)
+	}
+	return sv
+}
+
+// Close cancels every in-flight solve and marks the server done. It is
+// idempotent; jobs submitted after Close fail with context.Canceled.
+func (sv *Server) Close() { sv.closed.Do(sv.cancel) }
+
+// Meta describes how a job was answered.
+type Meta struct {
+	// Digest is the SOC content digest (soc.Digest).
+	Digest string
+	// Key is the full cache key: Digest plus width and normalized
+	// options.
+	Key string
+	// Cached reports the result came from the LRU cache.
+	Cached bool
+	// Coalesced reports the job waited on an identical in-flight solve
+	// instead of running its own.
+	Coalesced bool
+	// Elapsed is the request's service time inside Solve (for a cached
+	// job, microseconds; the Result's own Elapsed field is always the
+	// populating solve's cost).
+	Elapsed time.Duration
+}
+
+// jobKey composes the cache key for one (SOC, width, options) job. The
+// options must already be Normalized — the caller hashes the canonical
+// form so parallelism knobs and spelled-out defaults cannot split
+// cache entries. Every result-affecting Options field appears here;
+// when a field is added to coopt.Options it must be added to this
+// fingerprint (or consciously excluded, like Workers).
+func jobKey(digest string, width int, opt coopt.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|w=%d|strat=%d|maxtams=%d|solver=%d|node=%d|ilpnode=%d|skipfinal=%t|noabort=%t|enum=%d|plain=%t|maxpower=%d",
+		digest, width, opt.Strategy, opt.MaxTAMs, opt.FinalSolver, opt.NodeLimit,
+		opt.ILPNodeLimit, opt.SkipFinal, opt.NoEarlyAbort, opt.Enumeration,
+		opt.PlainCoreAssign, opt.MaxPower)
+	return fmt.Sprintf("job:%x", h.Sum(nil))
+}
+
+// Solve answers one job: validate, canonicalize, consult the cache,
+// deduplicate against identical in-flight solves, and only then spend a
+// worker-pool slot on a cold coopt solve. The returned Result is
+// indexed on s's own core order whichever path produced it; see
+// ARCHITECTURE.md §10 for why the cached and cold paths are bit-for-bit
+// identical. ctx bounds this caller's wait (for a pool slot or for a
+// shared in-flight solve); the solve itself runs under the server's
+// lifecycle so one impatient client cannot poison the identical jobs of
+// others.
+func (sv *Server) Solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Options) (coopt.Result, Meta, error) {
+	t0 := time.Now()
+	if err := s.Validate(); err != nil {
+		sv.failed.Add(1)
+		return coopt.Result{}, Meta{}, err
+	}
+	norm := opt.Normalized()
+	meta := Meta{Digest: s.Digest()}
+	meta.Key = jobKey(meta.Digest, width, norm)
+	canon, perm := s.Canonical()
+
+	if sv.results != nil {
+		if res, ok := sv.results.Get(meta.Key); ok {
+			meta.Cached = true
+			meta.Elapsed = time.Since(t0)
+			sv.completed.Add(1)
+			return remapResult(res, perm), meta, nil
+		}
+	}
+	res, coalesced, err := sv.solveShared(ctx, meta.Key, canon, width, norm)
+	if err != nil {
+		sv.failed.Add(1)
+		return coopt.Result{}, meta, err
+	}
+	meta.Coalesced = coalesced
+	meta.Elapsed = time.Since(t0)
+	sv.completed.Add(1)
+	return remapResult(res, perm), meta, nil
+}
+
+// solveShared deduplicates cold solves: the first caller for a key
+// becomes the leader and solves, later callers wait for its canonical
+// result. Errors are returned to every waiter but never cached, so a
+// transient failure (shutdown mid-solve) does not poison the key.
+func (sv *Server) solveShared(ctx context.Context, key string, canon *soc.SOC, width int, norm coopt.Options) (coopt.Result, bool, error) {
+	for {
+		sv.fmu.Lock()
+		if f, ok := sv.flights[key]; ok {
+			sv.fmu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					sv.coalesced.Add(1)
+					return f.res, true, nil
+				}
+				// The one leader failure that is the leader's own, not
+				// the job's: its request context was cancelled while it
+				// waited for a pool slot. A follower whose context is
+				// still live must not inherit that — retry as (or
+				// behind) a new leader.
+				if errors.Is(f.err, context.Canceled) && sv.base.Err() == nil && ctx.Err() == nil {
+					continue
+				}
+				return f.res, true, f.err
+			case <-ctx.Done():
+				return coopt.Result{}, false, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		sv.flights[key] = f
+		sv.fmu.Unlock()
+
+		f.res, f.err = sv.solveCold(ctx, canon, width, norm)
+		if f.err == nil && sv.results != nil {
+			sv.results.Put(key, f.res)
+		}
+		sv.fmu.Lock()
+		delete(sv.flights, key)
+		sv.fmu.Unlock()
+		close(f.done)
+		return f.res, false, f.err
+	}
+}
+
+// solveCold runs one canonical solve on the worker pool. The wait for a
+// slot honors the caller's ctx; the solve itself runs under the
+// server's lifecycle context only, so a started solve always completes
+// (and lands in the cache) unless the server shuts down.
+func (sv *Server) solveCold(ctx context.Context, canon *soc.SOC, width int, norm coopt.Options) (coopt.Result, error) {
+	select {
+	case sv.sem <- struct{}{}:
+	case <-ctx.Done():
+		return coopt.Result{}, ctx.Err()
+	case <-sv.base.Done():
+		return coopt.Result{}, sv.base.Err()
+	}
+	defer func() { <-sv.sem }()
+	sv.inFlight.Add(1)
+	defer sv.inFlight.Add(-1)
+
+	norm.Workers = sv.cfg.solveWorkers()
+	t0 := time.Now()
+	res, err := coopt.SolveContext(sv.base, canon, width, norm)
+	sv.solveNanos.Add(time.Since(t0).Nanoseconds())
+	if err != nil {
+		return coopt.Result{}, err
+	}
+	sv.solved.Add(1)
+	return res, nil
+}
+
+// remapResult re-indexes a canonical-order result onto the query's core
+// order: perm[j] is the query index of the core at canonical position
+// j. Every slice in the output is freshly allocated — the input is the
+// shared cache entry and must never be aliased by a response.
+func remapResult(res coopt.Result, perm []int) coopt.Result {
+	out := res // scalars and Stats copy by value
+	out.Partition = slices.Clone(res.Partition)
+	if res.Assignment.TAMOf != nil {
+		tamOf := make([]int, len(res.Assignment.TAMOf))
+		for j, tam := range res.Assignment.TAMOf {
+			tamOf[perm[j]] = tam
+		}
+		out.Assignment.TAMOf = tamOf
+	}
+	out.Assignment.Loads = slices.Clone(res.Assignment.Loads)
+	if res.Packing != nil {
+		sch := *res.Packing
+		sch.Rects = slices.Clone(res.Packing.Rects)
+		for i := range sch.Rects {
+			sch.Rects[i].Core = perm[sch.Rects[i].Core]
+		}
+		out.Packing = &sch
+	}
+	out.Portfolio = slices.Clone(res.Portfolio)
+	return out
+}
+
+// Stats is the /v1/stats snapshot.
+type Stats struct {
+	// UptimeSeconds is the time since New.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Workers and SolveWorkers echo the resolved pool configuration.
+	Workers      int `json:"workers"`
+	SolveWorkers int `json:"solve_workers"`
+	// Jobs counts request outcomes.
+	Jobs JobStats `json:"jobs"`
+	// Cache reports the result-cache counters.
+	Cache CacheStats `json:"cache"`
+	// ThroughputJobsPerSec is completed jobs over uptime.
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+}
+
+// JobStats counts job outcomes since the server started.
+type JobStats struct {
+	// Completed and Failed count answered jobs by outcome.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// InFlight is the number of solves holding a pool slot right now.
+	InFlight int64 `json:"in_flight"`
+	// Solved counts cold solves actually run; Coalesced counts jobs
+	// that shared another job's in-flight solve.
+	Solved    int64 `json:"solved"`
+	Coalesced int64 `json:"coalesced"`
+	// SolveSeconds is the summed wall clock of all cold solves — the
+	// compute the cache and coalescing saved is
+	// (Completed - Solved) / Solved of this, roughly.
+	SolveSeconds float64 `json:"solve_seconds"`
+}
+
+// CacheStats reports the result cache. With caching disabled only
+// Enabled is meaningful.
+type CacheStats struct {
+	Enabled   bool    `json:"enabled"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Stats returns a point-in-time snapshot of the service counters.
+func (sv *Server) Stats() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(sv.started).Seconds(),
+		Workers:       sv.cfg.workers(),
+		SolveWorkers:  sv.cfg.solveWorkers(),
+		Jobs: JobStats{
+			Completed:    sv.completed.Load(),
+			Failed:       sv.failed.Load(),
+			InFlight:     sv.inFlight.Load(),
+			Solved:       sv.solved.Load(),
+			Coalesced:    sv.coalesced.Load(),
+			SolveSeconds: time.Duration(sv.solveNanos.Load()).Seconds(),
+		},
+	}
+	if sv.results != nil {
+		cs := sv.results.Stats()
+		st.Cache = CacheStats{
+			Enabled:   true,
+			Entries:   cs.Len,
+			Capacity:  cs.Capacity,
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			HitRate:   cs.HitRate(),
+		}
+	}
+	if st.UptimeSeconds > 0 {
+		st.ThroughputJobsPerSec = float64(st.Jobs.Completed) / st.UptimeSeconds
+	}
+	return st
+}

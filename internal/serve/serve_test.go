@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"soctam/internal/coopt"
+	"soctam/internal/soc"
+	"soctam/internal/socdata"
+)
+
+// permuted returns a clone of s with its cores shuffled by a fixed
+// seed, so tests exercise queries that are equal in content but not in
+// presentation.
+func permuted(s *soc.SOC, seed int64) *soc.SOC {
+	p := s.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(p.Cores), func(i, j int) { p.Cores[i], p.Cores[j] = p.Cores[j], p.Cores[i] })
+	return p
+}
+
+// reformatted round-trips s through the .soc text format, changing the
+// byte-level presentation (attribute spelling, omitted zero fields)
+// without changing content.
+func reformatted(t *testing.T, s *soc.SOC) *soc.SOC {
+	t.Helper()
+	r, err := soc.ParseString(s.EncodeString())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	return r
+}
+
+// zeroElapsed clears every wall-clock field of a result so two
+// deterministic solves can be compared bit for bit: Elapsed (and the
+// per-backend Elapsed of a portfolio run) is the only field that
+// legitimately differs between two runs of the same job.
+func zeroElapsed(res coopt.Result) coopt.Result {
+	res.Elapsed = 0
+	for i := range res.Portfolio {
+		res.Portfolio[i].Elapsed = 0
+	}
+	return res
+}
+
+// The acceptance property of the serving layer: a cache hit for a
+// permuted and reformatted query is bit-for-bit identical to what a
+// cold solve of that exact query would have returned (ARCHITECTURE.md
+// §10), and the digests agree.
+func TestCacheHitBitForBitAcrossPermutations(t *testing.T) {
+	base := socdata.D695()
+	for _, strat := range []coopt.Strategy{coopt.StrategyPartition, coopt.StrategyPacking,
+		coopt.StrategyDiagonal, coopt.StrategyPortfolio} {
+		opt := coopt.Options{Strategy: strat}
+		warm := New(Config{})
+		defer warm.Close()
+
+		r1, m1, err := warm.Solve(context.Background(), base, 16, opt)
+		if err != nil {
+			t.Fatalf("%v: cold solve: %v", strat, err)
+		}
+		if m1.Cached {
+			t.Fatalf("%v: first solve reported cached", strat)
+		}
+
+		query := reformatted(t, permuted(base, 7))
+		if d := query.Digest(); d != m1.Digest {
+			t.Fatalf("%v: permuted+reformatted digest %s != original %s", strat, d, m1.Digest)
+		}
+		r2, m2, err := warm.Solve(context.Background(), query, 16, opt)
+		if err != nil {
+			t.Fatalf("%v: hit solve: %v", strat, err)
+		}
+		if !m2.Cached {
+			t.Fatalf("%v: permuted query missed the cache", strat)
+		}
+		if m2.Key != m1.Key {
+			t.Errorf("%v: cache keys differ across permutation", strat)
+		}
+
+		// A fresh server answers the same permuted query cold; the hit
+		// must match it bit for bit (modulo wall clock, the one
+		// nondeterministic field even between two cold solves).
+		cold := New(Config{})
+		defer cold.Close()
+		r3, m3, err := cold.Solve(context.Background(), query, 16, opt)
+		if err != nil {
+			t.Fatalf("%v: fresh cold solve: %v", strat, err)
+		}
+		if m3.Cached {
+			t.Fatalf("%v: fresh server reported a cache hit", strat)
+		}
+		if !reflect.DeepEqual(zeroElapsed(r2), zeroElapsed(r3)) {
+			t.Errorf("%v: cache hit differs from cold solve:\nhit:  %+v\ncold: %+v", strat, r2, r3)
+		}
+		// And the hit must describe the same testing time as the
+		// original-order solve (the architecture is the same modulo core
+		// renumbering).
+		if r2.Time != r1.Time {
+			t.Errorf("%v: hit time %d != original time %d", strat, r2.Time, r1.Time)
+		}
+	}
+}
+
+// The remap must be a faithful re-indexing: core i of the query gets
+// exactly the TAM (or rectangle) its content-equal core got in the
+// original order.
+func TestRemapConsistency(t *testing.T) {
+	base := socdata.D695()
+	sv := New(Config{})
+	defer sv.Close()
+	r1, _, err := sv.Solve(context.Background(), base, 24, coopt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := permuted(base, 3)
+	r2, m2, err := sv.Solve(context.Background(), perm, 24, coopt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Cached {
+		t.Fatal("permuted query missed the cache")
+	}
+	// Match cores by name (d695 core names are unique).
+	tamByName := map[string]int{}
+	for i, c := range base.Cores {
+		tamByName[c.Name] = r1.Assignment.TAMOf[i]
+	}
+	for i, c := range perm.Cores {
+		if got, want := r2.Assignment.TAMOf[i], tamByName[c.Name]; got != want {
+			t.Errorf("core %q assigned to TAM %d in permuted order, %d originally", c.Name, got, want)
+		}
+	}
+	if !reflect.DeepEqual(r1.Partition, r2.Partition) {
+		t.Errorf("partition changed under permutation: %v vs %v", r1.Partition, r2.Partition)
+	}
+}
+
+// Concurrent identical jobs must run exactly one cold solve; everyone
+// else shares it (in-flight coalescing or, after it lands, the cache).
+func TestInFlightCoalescing(t *testing.T) {
+	sv := New(Config{Workers: 2})
+	defer sv.Close()
+	s := socdata.D695()
+	const n = 16
+	var wg sync.WaitGroup
+	times := make([]soc.Cycles, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := sv.Solve(context.Background(), s, 32, coopt.Options{})
+			times[i], errs[i] = res.Time, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if times[i] != times[0] {
+			t.Errorf("job %d got %d cycles, job 0 got %d", i, times[i], times[0])
+		}
+	}
+	st := sv.Stats()
+	if st.Jobs.Solved != 1 {
+		t.Errorf("%d cold solves for %d identical jobs, want exactly 1", st.Jobs.Solved, n)
+	}
+	if shared := st.Jobs.Coalesced + int64(st.Cache.Hits); shared != n-1 {
+		t.Errorf("coalesced %d + hits %d = %d, want %d",
+			st.Jobs.Coalesced, st.Cache.Hits, shared, n-1)
+	}
+	if st.Jobs.Completed != n {
+		t.Errorf("completed %d, want %d", st.Jobs.Completed, n)
+	}
+}
+
+// With the cache disabled every sequential repeat solves cold, but
+// results still agree.
+func TestCacheDisabled(t *testing.T) {
+	sv := New(Config{CacheSize: -1})
+	defer sv.Close()
+	s := socdata.D695()
+	r1, m1, err := sv.Solve(context.Background(), s, 16, coopt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, m2, err := sv.Solve(context.Background(), s, 16, coopt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Cached || m2.Cached {
+		t.Error("disabled cache reported a hit")
+	}
+	if got := sv.Stats(); got.Jobs.Solved != 2 || got.Cache.Enabled {
+		t.Errorf("stats = %+v, want 2 cold solves and cache disabled", got)
+	}
+	if r1.Time != r2.Time {
+		t.Errorf("repeat solves disagree: %d vs %d", r1.Time, r2.Time)
+	}
+}
+
+// Jobs that differ only in worker count or spelled-out defaults share a
+// cache entry; jobs that differ in a result-affecting option do not.
+func TestJobKeyNormalization(t *testing.T) {
+	sv := New(Config{})
+	defer sv.Close()
+	s := socdata.D695()
+	_, m1, err := sv.Solve(context.Background(), s, 16, coopt.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m2, err := sv.Solve(context.Background(), s, 16, coopt.Options{Workers: 4, MaxTAMs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Cached || m2.Key != m1.Key {
+		t.Error("worker-count/default-spelling variants did not share a cache entry")
+	}
+	_, m3, err := sv.Solve(context.Background(), s, 16, coopt.Options{MaxTAMs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Cached || m3.Key == m1.Key {
+		t.Error("MaxTAMs=2 shared a cache entry with MaxTAMs=10")
+	}
+	_, m4, err := sv.Solve(context.Background(), s, 16, coopt.Options{MaxPower: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.Cached || m4.Key == m1.Key {
+		t.Error("power-constrained job shared a cache entry with the unconstrained one")
+	}
+}
+
+// A closed server fails fast instead of hanging on the pool.
+func TestSolveAfterClose(t *testing.T) {
+	sv := New(Config{})
+	sv.Close()
+	_, _, err := sv.Solve(context.Background(), socdata.D695(), 16, coopt.Options{})
+	if err == nil {
+		t.Fatal("solve on a closed server succeeded")
+	}
+}
+
+// An invalid SOC is rejected before digesting or solving.
+func TestSolveInvalidSOC(t *testing.T) {
+	sv := New(Config{})
+	defer sv.Close()
+	bad := &soc.SOC{Name: "bad"}
+	if _, _, err := sv.Solve(context.Background(), bad, 16, coopt.Options{}); err == nil {
+		t.Fatal("empty SOC accepted")
+	}
+	if st := sv.Stats(); st.Jobs.Failed != 1 {
+		t.Errorf("failed count %d, want 1", st.Jobs.Failed)
+	}
+}
+
+// A leader whose request context is cancelled while it waits for a
+// pool slot must not poison followers coalesced onto its flight: a
+// follower with a live context retries as the new leader and gets the
+// real result (the review fix for solveShared's retry loop).
+func TestFollowerSurvivesLeaderCancellation(t *testing.T) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	sv := New(Config{Workers: 1, SolveWorkers: 1})
+	defer sv.Close()
+
+	// Occupy the only pool slot with a slow solve.
+	slow := socdata.P93791()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = sv.Solve(context.Background(), slow, 40, coopt.Options{})
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for sv.inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow solve never took the pool slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The leader queues behind it and is cancelled mid-wait; the
+	// follower for the identical job keeps a live context.
+	d695 := socdata.D695()
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := sv.Solve(leaderCtx, d695, 16, coopt.Options{})
+		leaderErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the leader register its flight
+	followerDone := make(chan struct {
+		res coopt.Result
+		err error
+	}, 1)
+	go func() {
+		res, _, err := sv.Solve(context.Background(), d695, 16, coopt.Options{})
+		followerDone <- struct {
+			res coopt.Result
+			err error
+		}{res, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the follower join the flight
+	cancelLeader()
+
+	// The follower must succeed with the real result whatever happened
+	// to the leader (if the slow solve finished early the leader may
+	// have won the slot and solved; both interleavings are legal).
+	want, err := coopt.Solve(d695, 16, coopt.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := <-followerDone
+	if out.err != nil {
+		t.Fatalf("follower inherited the leader's cancellation: %v", out.err)
+	}
+	if out.res.Time != want.Time {
+		t.Errorf("follower got %d cycles, want %d", out.res.Time, want.Time)
+	}
+	<-leaderErr
+}

@@ -1,0 +1,43 @@
+package socdata
+
+import (
+	"fmt"
+	"strings"
+
+	"soctam/internal/soc"
+)
+
+// constructors maps every benchmark name to its constructor, in the
+// paper's order. This is the single name→SOC dispatch in the module —
+// the CLIs, the solver service and the experiments all resolve through
+// it, so adding a benchmark here is the whole job.
+var constructors = []struct {
+	name string
+	ctor func() *soc.SOC
+}{
+	{"d695", D695},
+	{"p21241", P21241},
+	{"p31108", P31108},
+	{"p93791", P93791},
+}
+
+// Names returns the benchmark SOC names ByName accepts, in the paper's
+// order.
+func Names() []string {
+	names := make([]string, len(constructors))
+	for i, c := range constructors {
+		names[i] = c.name
+	}
+	return names
+}
+
+// ByName constructs a benchmark SOC by name; the error of an unknown
+// name lists every valid choice.
+func ByName(name string) (*soc.SOC, error) {
+	for _, c := range constructors {
+		if c.name == name {
+			return c.ctor(), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (have %s)", name, strings.Join(Names(), ", "))
+}

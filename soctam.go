@@ -11,12 +11,13 @@
 //
 // The top-level entry points are:
 //
-//   - Solve: the unified entry point — the paper's partition flow, one
-//     of the two rectangle bin-packing heuristics, or the portfolio
-//     racer that runs all three concurrently and returns the winner,
-//     selected by Options.Strategy, with partition evaluation
-//     parallelized across Options.Workers and an optional peak-power
-//     ceiling enforced via Options.MaxPower (or the SOC's own MaxPower);
+//   - Solve (and its cancellable form SolveContext): the unified entry
+//     point — the paper's partition flow, one of the two rectangle
+//     bin-packing heuristics, or the portfolio racer that runs all
+//     three concurrently and returns the winner, selected by
+//     Options.Strategy, with partition evaluation parallelized across
+//     Options.Workers and an optional peak-power ceiling enforced via
+//     Options.MaxPower (or the SOC's own MaxPower);
 //   - CoOptimize: the paper's full flow (Partition_evaluate heuristic +
 //     exact final optimization) for the problem P_NPAW;
 //   - PackRectangles / PackRectanglesDiagonal / PackingLowerBound:
@@ -25,7 +26,9 @@
 //   - Exhaustive / ExhaustiveRange: the exact enumerate-and-solve
 //     baseline of the earlier JETTA 2002 paper, for comparison;
 //   - DesignWrapper / TestTime: per-core wrapper design (P_W);
-//   - ParseSOC / (*SOC).Encode: the .soc text format;
+//   - ParseSOC / (*SOC).Encode: the .soc text format (and
+//     (*SOC).Digest / (*SOC).Canonical, the canonical content hashing
+//     behind the wtamd solver service's result cache);
 //   - D695, P21241, P31108, P93791: the paper's benchmark SOCs.
 //
 // See ARCHITECTURE.md for the system inventory and EXPERIMENTS.md for the
@@ -33,6 +36,7 @@
 package soctam
 
 import (
+	"context"
 	"io"
 
 	"soctam/internal/assign"
@@ -183,6 +187,14 @@ func Solve(s *SOC, totalWidth int, opt Options) (Result, error) {
 	return coopt.Solve(s, totalWidth, opt)
 }
 
+// SolveContext is Solve with cancellation: every backend polls ctx and
+// returns its error once it fires. Cancellation never alters the result
+// of a run that completes; the wtamd solver service uses it to abandon
+// in-flight solves on shutdown.
+func SolveContext(ctx context.Context, s *SOC, totalWidth int, opt Options) (Result, error) {
+	return coopt.SolveContext(ctx, s, totalWidth, opt)
+}
+
 // CoOptimize designs a complete test access architecture for the SOC
 // under a total TAM width budget (problem P_NPAW): TAM count, width
 // partition, core assignment and per-core wrappers.
@@ -246,6 +258,15 @@ func BuildSchedule(s *SOC, partition []int, tamOf []int) (*Timeline, error) {
 func LowerBound(s *SOC, totalWidth int) (Cycles, error) {
 	return coopt.LowerBound(s, totalWidth)
 }
+
+// BenchmarkSOC constructs a built-in benchmark SOC by name ("d695",
+// "p21241", "p31108", "p93791"); the error of an unknown name lists
+// every valid choice.
+func BenchmarkSOC(name string) (*SOC, error) { return socdata.ByName(name) }
+
+// BenchmarkNames returns the names BenchmarkSOC accepts, in the
+// paper's order.
+func BenchmarkNames() []string { return socdata.Names() }
 
 // D695 returns the academic benchmark SOC d695.
 func D695() *SOC { return socdata.D695() }
