@@ -9,20 +9,29 @@
 //	wtam -soc chip.soc -width 64 -tams 3
 //	wtam -benchmark p93791 -width 64 -exhaustive -max-tams 3
 //	wtam -benchmark d695 -width 32 -strategy packing
-//	wtam -benchmark d695 -width 32 -strategy portfolio
+//	wtam -benchmark d695 -width 32 -strategy portfolio -progress
+//	wtam -benchmark d695 -width 16 -strategy exhaustive
+//	wtam -benchmark d695 -width 16 -strategy portfolio:partition,exhaustive
 //	wtam -benchmark d695 -width 32 -max-power 1800 -gantt
 //	wtam -benchmark p21241 -width 64 -workers 8
 //
 // With -tams 0 (the default) the TAM count is optimized too (problem
 // P_NPAW); a fixed -tams solves P_PAW. -exhaustive switches from the
 // paper's heuristic flow to the exact enumerate-and-solve baseline.
-// -strategy packing (or diagonal) replaces the partition flow with one
-// of the two rectangle bin-packing heuristics: wires are re-divided
-// between cores over time instead of forming fixed test buses.
-// -strategy portfolio races partition, packing and diagonal
-// concurrently and reports the winner with per-backend attribution.
-// -workers parallelizes partition evaluation (0 = all CPUs, 1 = the
-// paper's sequential order). -max-power imposes a peak-power ceiling on
+// -strategy selects any backend registered in the solver-engine
+// registry: packing (or diagonal) replaces the partition flow with one
+// of the two rectangle bin-packing heuristics (wires are re-divided
+// between cores over time instead of forming fixed test buses), and
+// exhaustive selects the exact baseline over the full TAM-count range.
+// -strategy portfolio races every heuristic backend concurrently and
+// reports the winner with per-backend attribution; a subset spec
+// (portfolio:partition,exhaustive) races exactly the named backends —
+// the only way the exponential exhaustive engine joins a race. Ties go
+// to the earlier-registered backend whatever the spec's order.
+// -progress streams solver events (backend start/finish/cancellation,
+// incumbent improvements) to stderr while the solve runs. -workers
+// parallelizes partition evaluation (0 = all CPUs, 1 = the paper's
+// sequential order). -max-power imposes a peak-power ceiling on
 // concurrently running tests (0 uses the SOC's own maxpower attribute;
 // every backend honors it).
 //
@@ -37,6 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -74,9 +84,10 @@ func run(args []string) error {
 		exhaustive = flags.Bool("exhaustive", false, "use the exact enumerate-and-solve baseline of [8] instead of the heuristic")
 		useILP     = flags.Bool("ilp", false, "use the ILP engine for exact optimization instead of branch and bound")
 		nodeLimit  = flags.Int64("node-limit", 0, "node budget per exact solve (0 = default)")
-		strategy   = flags.String("strategy", "partition", "co-optimization backend: "+strings.Join(soctam.StrategyNames(), ", "))
+		strategy   = flags.String("strategy", "partition", "co-optimization backend ("+strings.Join(soctam.StrategyNames(), ", ")+") or a portfolio subset spec like portfolio:partition,exhaustive")
 		workers    = flags.Int("workers", 0, "partition-evaluation goroutines (0 = all CPUs, 1 = paper's sequential order)")
 		maxPower   = flags.Int("max-power", 0, "peak-power ceiling on concurrent tests (0 = the SOC's own maxpower, if any)")
+		progress   = flags.Bool("progress", false, "stream solver progress (backend lifecycle, incumbent improvements) to stderr while solving")
 		verbose    = flags.Bool("v", false, "print per-core wrapper usage on the chosen architecture")
 		gantt      = flags.Bool("gantt", false, "print the test schedule as a Gantt chart with utilization")
 		serveAddr  = flags.String("serve", "", "run as the solver service on this address instead of solving (escape hatch for cmd/wtamd)")
@@ -122,14 +133,31 @@ func run(args []string) error {
 	if *useILP {
 		opt.FinalSolver = soctam.SolverILP
 	}
-	strat, err := soctam.ParseStrategy(*strategy)
+	if *progress {
+		opt.Progress = progressPrinter(os.Stderr)
+	}
+	strat, subset, err := soctam.ParseStrategySpec(*strategy)
 	if err != nil {
-		// ParseStrategy's error lists every valid strategy name.
+		// The spec parser's error lists every valid strategy/backend name.
 		return err
 	}
 	opt.Strategy = strat
+	opt.Portfolio = subset
 	switch strat {
 	case soctam.StrategyPartition:
+	case soctam.StrategyExhaustive:
+		// The [8] baseline behind Solve: sequential, full B range. The
+		// legacy -exhaustive flag (which additionally supports -tams)
+		// keeps working on the partition route below.
+		if err := rejectFlags(flags, strat.String(), "the baseline solves every partition of every TAM count sequentially",
+			"tams", "workers", "exhaustive"); err != nil {
+			return err
+		}
+		res, err := soctam.Solve(s, *width, opt)
+		if err != nil {
+			return err
+		}
+		return printPartitionResult(s, res, false, true, *verbose, *gantt)
 	case soctam.StrategyPacking, soctam.StrategyDiagonal:
 		// The packers have no fixed TAMs, no exact step, no partition
 		// enumeration: every flag tuning those is silently meaningless,
@@ -191,6 +219,34 @@ func run(args []string) error {
 		return err
 	}
 	return printPartitionResult(s, res, opt.ParallelEvaluation(), *exhaustive, *verbose, *gantt)
+}
+
+// progressPrinter renders the Options.Progress event stream as one
+// stderr line per event. The hook runs on the solver's goroutines but
+// serialized (never concurrently with itself), so plain Fprintf is safe.
+func progressPrinter(w io.Writer) soctam.ProgressFunc {
+	return func(ev soctam.ProgressEvent) {
+		at := ev.Elapsed.Round(time.Microsecond)
+		switch ev.Kind {
+		case soctam.ProgressBackendStart:
+			fmt.Fprintf(w, "progress: %-10s started\n", ev.Backend)
+		case soctam.ProgressImproved:
+			if ev.Partitions > 0 {
+				fmt.Fprintf(w, "progress: %-10s improved to %d cycles (partition %d, %s)\n",
+					ev.Backend, ev.Time, ev.Partitions, at)
+			} else {
+				fmt.Fprintf(w, "progress: %-10s improved to %d cycles (%s)\n", ev.Backend, ev.Time, at)
+			}
+		case soctam.ProgressBackendDone:
+			if ev.Err != "" {
+				fmt.Fprintf(w, "progress: %-10s failed: %s (%s)\n", ev.Backend, ev.Err, at)
+			} else {
+				fmt.Fprintf(w, "progress: %-10s finished: %d cycles (%s)\n", ev.Backend, ev.Time, at)
+			}
+		case soctam.ProgressBackendCancelled:
+			fmt.Fprintf(w, "progress: %-10s cancelled: could no longer win (%s)\n", ev.Backend, at)
+		}
+	}
 }
 
 // rejectFlags errors when the user explicitly set a flag the chosen

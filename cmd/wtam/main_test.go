@@ -50,6 +50,15 @@ func TestStrategyFlagCompatibility(t *testing.T) {
 		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "portfolio", "-tams", "2"}, "-tams"},
 		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "portfolio", "-workers", "2", "-max-tams", "4"}, ""},
 		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "diagonal"}, ""},
+		{[]string{"-benchmark", "d695", "-width", "12", "-strategy", "exhaustive", "-tams", "2"}, "-tams"},
+		{[]string{"-benchmark", "d695", "-width", "12", "-strategy", "exhaustive", "-workers", "2"}, "-workers"},
+		{[]string{"-benchmark", "d695", "-width", "12", "-strategy", "exhaustive", "-exhaustive"}, "-exhaustive"},
+		{[]string{"-benchmark", "d695", "-width", "12", "-strategy", "exhaustive", "-max-tams", "3"}, ""},
+		{[]string{"-benchmark", "d695", "-width", "12", "-strategy", "portfolio:partition,exhaustive"}, ""},
+		{[]string{"-benchmark", "d695", "-width", "12", "-strategy", "portfolio:packing,diagonal", "-progress"}, ""},
+		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", " PACKING "}, ""},
+		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "portfolio:partition,partition"}, "twice"},
+		{[]string{"-benchmark", "d695", "-width", "16", "-strategy", "portfolio:warp-drive"}, "unknown backend"},
 	} {
 		err := run(tc.args)
 		if tc.bad == "" {

@@ -20,7 +20,8 @@
 // are cancelled.
 //
 // Endpoints: POST /v1/solve (one job), POST /v1/batch (many jobs,
-// NDJSON lines in completion order), GET /v1/healthz, GET /v1/stats.
+// NDJSON lines in completion order), GET /v1/solvers (the registered
+// backends and their capability flags), GET /v1/healthz, GET /v1/stats.
 package main
 
 import (

@@ -23,15 +23,18 @@ func ExampleSolve() {
 	// testing time 21566 cycles
 }
 
-// ExampleSolve_strategies selects each co-optimization backend in turn:
-// the partition flow, the two rectangle bin-packing heuristics, and the
-// portfolio that races all three concurrently and returns the winner —
-// never worse than the best single backend, deterministically at any
-// Workers setting.
+// ExampleSolve_strategies selects each registered co-optimization
+// backend in turn — the partition flow, the two rectangle bin-packing
+// heuristics, the exact exhaustive baseline — and finally the portfolio
+// combinator that races the heuristics concurrently and returns the
+// winner, never worse than the best single backend, deterministically
+// at any Workers setting. Solvers lists every selectable backend with
+// its capability flags; the exact engine is marked and stays out of the
+// bare portfolio race.
 func ExampleSolve_strategies() {
 	s := soctam.D695()
-	for _, name := range soctam.StrategyNames() {
-		strategy, err := soctam.ParseStrategy(name)
+	for _, info := range soctam.Solvers() {
+		strategy, err := soctam.ParseStrategy(info.Name)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -39,13 +42,18 @@ func ExampleSolve_strategies() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-9s %d cycles\n", name, res.Time)
+		tag := ""
+		if info.Exact {
+			tag = "  (proven optimal)"
+		}
+		fmt.Printf("%-10s %d cycles%s\n", info.Name, res.Time, tag)
 	}
 	// Output:
-	// partition 21566 cycles
-	// packing   21616 cycles
-	// diagonal  22427 cycles
-	// portfolio 21566 cycles
+	// partition  21566 cycles
+	// packing    21616 cycles
+	// diagonal   22427 cycles
+	// exhaustive 21435 cycles  (proven optimal)
+	// portfolio  21566 cycles
 }
 
 // ExampleSolve_powerCeiling imposes a peak-power ceiling on the summed

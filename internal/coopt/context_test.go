@@ -3,6 +3,7 @@ package coopt
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 
 	"soctam/internal/socdata"
@@ -58,7 +59,39 @@ func TestOptionsNormalized(t *testing.T) {
 	if n.MaxTAMs != 4 || n.Strategy != StrategyPacking || n.MaxPower != 1800 || !n.SkipFinal {
 		t.Errorf("normalization altered result-relevant fields: %+v", n)
 	}
-	if n != n.Normalized() {
+	// Options carries a func field now, so compare via DeepEqual (both
+	// sides' Progress are nil after normalization).
+	if !reflect.DeepEqual(n, n.Normalized()) {
 		t.Error("Normalized is not idempotent")
+	}
+}
+
+// TestOptionsNormalizedPortfolio pins the subset canonicalization: the
+// spelled-out default, case/space noise and subset order collapse onto
+// one canonical string, non-portfolio strategies drop the field, and
+// the observability hook never reaches the canonical form.
+func TestOptionsNormalizedPortfolio(t *testing.T) {
+	def := Options{Strategy: StrategyPortfolio}.Normalized()
+	if def.Portfolio != "partition,packing,diagonal" {
+		t.Errorf("default subset normalized to %q", def.Portfolio)
+	}
+	spelled := Options{Strategy: StrategyPortfolio, Portfolio: " Diagonal, PACKING ,partition "}.Normalized()
+	if spelled.Portfolio != def.Portfolio {
+		t.Errorf("spelled-out default %q != bare default %q", spelled.Portfolio, def.Portfolio)
+	}
+	subset := Options{Strategy: StrategyPortfolio, Portfolio: "exhaustive, partition"}.Normalized()
+	if subset.Portfolio != "partition,exhaustive" {
+		t.Errorf("subset normalized to %q, want registration order", subset.Portfolio)
+	}
+	if subset.Portfolio == def.Portfolio {
+		t.Error("distinct subsets collapsed onto one canonical form")
+	}
+	leak := Options{Strategy: StrategyPartition, Portfolio: "partition"}.Normalized()
+	if leak.Portfolio != "" {
+		t.Errorf("non-portfolio strategy kept subset %q", leak.Portfolio)
+	}
+	hooked := Options{Progress: func(ProgressEvent) {}}.Normalized()
+	if hooked.Progress != nil {
+		t.Error("Progress hook survived normalization")
 	}
 }

@@ -2,6 +2,7 @@ package coopt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -15,7 +16,10 @@ import (
 	"soctam/internal/wrapper"
 )
 
-// Strategy selects the co-optimization backend used by Solve.
+// Strategy selects the co-optimization backend used by Solve. Each
+// value (portfolio aside) names a registered engine; the registry in
+// backend.go is the authority for names, capability flags and the
+// portfolio tie-break order.
 type Strategy uint8
 
 // Backends.
@@ -32,45 +36,30 @@ const (
 	// heuristic of arXiv:1008.4446: best-fit-decreasing placement ordered
 	// and tie-broken by the rectangle diagonal sqrt(w²+t²) (pack.PackDiagonal).
 	StrategyDiagonal
-	// StrategyPortfolio races the partition, packing and diagonal
-	// backends on concurrent goroutines against a shared incumbent bound
-	// and returns the winner — the best answer of any single strategy in
-	// roughly the wall-clock of the slowest still-relevant one, with
-	// per-backend attribution in Result.Portfolio.
+	// StrategyPortfolio races a subset of the registered backends on
+	// concurrent goroutines against a shared incumbent bound and returns
+	// the winner — the best answer of any racing backend in roughly the
+	// wall-clock of the slowest still-relevant one, with per-backend
+	// attribution in Result.Portfolio. Options.Portfolio picks the
+	// subset; empty races every registered non-exact engine.
 	StrategyPortfolio
+	// StrategyExhaustive is the exact enumerate-and-solve baseline of
+	// the earlier JETTA 2002 paper [8] (ExhaustiveRange behind Solve):
+	// every unique width partition for B = 1..MaxTAMs solved exactly.
+	// Proven optimal, exponential cost — selectable and raceable, but
+	// never part of the bare portfolio race.
+	StrategyExhaustive
 )
 
-// String names the strategy.
+// String names the strategy by its registered backend name.
 func (s Strategy) String() string {
-	switch s {
-	case StrategyPartition:
-		return "partition"
-	case StrategyPacking:
-		return "packing"
-	case StrategyDiagonal:
-		return "diagonal"
-	case StrategyPortfolio:
-		return "portfolio"
+	if s == StrategyPortfolio {
+		return portfolioName
+	}
+	if e, ok := engineOf(s); ok {
+		return e.info.Name
 	}
 	return fmt.Sprintf("Strategy(%d)", uint8(s))
-}
-
-// StrategyNames returns the names ParseStrategy accepts, in the fixed
-// racing/tie-break order of the portfolio.
-func StrategyNames() []string {
-	return []string{"partition", "packing", "diagonal", "portfolio"}
-}
-
-// ParseStrategy maps a strategy name to its constant. The error of an
-// unknown name lists every valid choice.
-func ParseStrategy(name string) (Strategy, error) {
-	for i, n := range StrategyNames() {
-		if n == name {
-			return Strategy(i), nil
-		}
-	}
-	return 0, fmt.Errorf("coopt: unknown strategy %q (valid strategies: %s)",
-		name, strings.Join(StrategyNames(), ", "))
 }
 
 // Solver selects the exact engine for final optimization and for the
@@ -158,9 +147,25 @@ type Options struct {
 	// the Completed/Aborted/Improved split of Stats depends on evaluation
 	// order and is therefore reproducible only with Workers = 1.
 	Workers int
-	// Strategy picks the Solve backend (partition flow or rectangle
-	// packing). The partition-specific entry points ignore it.
+	// Strategy picks the Solve backend (a registered engine or the
+	// portfolio combinator). The partition-specific entry points ignore
+	// it.
 	Strategy Strategy
+	// Portfolio is the portfolio race's backend subset as a
+	// comma-separated list of registered backend names (the spec tail of
+	// "portfolio:partition,diagonal"). Empty races every registered
+	// non-exact engine. Only StrategyPortfolio reads it; ties between
+	// racers always resolve by registration order, whatever order the
+	// subset lists them in.
+	Portfolio string
+	// Progress, when non-nil, receives solver progress events (backend
+	// start/finish/cancellation, incumbent improvements) while a Solve
+	// runs. Events are delivered synchronously on the solver's own
+	// goroutines but serialized — the hook never runs concurrently with
+	// itself — and must return promptly. Purely observational: results
+	// are bit-for-bit identical with or without a hook, and Normalized
+	// clears it. See ARCHITECTURE.md §11 for the ordering guarantees.
+	Progress ProgressFunc
 	// MaxPower is the SOC-level peak-power ceiling: the summed test
 	// power of concurrently running tests may never exceed it. <= 0
 	// falls back to the SOC's own MaxPower; 0 there too leaves the run
@@ -198,15 +203,21 @@ func (o Options) effectiveCeiling(s *soc.SOC) int {
 // to its effective value and the result-neutral knobs cleared — the
 // canonical form a result cache should key on. Two Options with equal
 // Normalized values produce identical architectures and testing times
-// for the same SOC and width: Workers is zeroed because results are
-// bit-for-bit identical at any worker count (only the order-dependent
-// Stats split can differ, and solely when more than one worker runs),
-// and negative "use the default" sentinels collapse onto their
-// defaults. The serving layer (internal/serve) keys its cache on this
-// form so requests differing only in parallelism share one entry.
+// for the same SOC and width: Workers is zeroed and Progress nil'd
+// because results are bit-for-bit identical at any worker count and
+// with any observer (only the order-dependent Stats split can differ,
+// and solely when more than one worker runs), negative "use the
+// default" sentinels collapse onto their defaults, and the Portfolio
+// subset collapses onto its canonical spelling — names folded, ordered
+// by registration rank, the default race spelled out, and the field
+// cleared entirely for non-portfolio strategies. The serving layer
+// (internal/serve) keys its cache on this form so requests differing
+// only in parallelism, observation or subset spelling share one entry,
+// while requests differing in strategy or subset never do.
 func (o Options) Normalized() Options {
 	o.MaxTAMs = o.maxTAMs()
 	o.Workers = 0
+	o.Progress = nil
 	if o.NodeLimit < 0 {
 		o.NodeLimit = 0
 	}
@@ -215,6 +226,21 @@ func (o Options) Normalized() Options {
 	}
 	if o.MaxPower < 0 {
 		o.MaxPower = 0
+	}
+	if o.Strategy != StrategyPortfolio {
+		// Only the portfolio reads the subset; anything else carrying one
+		// must not split cache entries.
+		o.Portfolio = ""
+	} else if subset, err := resolveSubset(o.Portfolio); err == nil {
+		// Canonical spelling, with the default race spelled out so
+		// "portfolio" and an explicit list of the same engines share one
+		// cache entry. An unparsable subset is left as typed — Solve will
+		// reject it, and a cache can only ever key an error entry on it.
+		names := make([]string, len(subset))
+		for i, e := range subset {
+			names[i] = e.info.Name
+		}
+		o.Portfolio = strings.Join(names, ",")
 	}
 	return o
 }
@@ -334,6 +360,7 @@ type evaluator struct {
 	opt    Options
 	pc     *powerContext
 	ctx    context.Context // nil = never cancelled
+	sink   *progressSink   // nil = no observer
 
 	haveBest bool       // a completed evaluation has been recorded
 	best     soc.Cycles // running best testing time (valid when haveBest)
@@ -432,6 +459,7 @@ func (e *evaluator) evaluateOne(parts []int) bool {
 		e.best = a.Time
 		e.bestPart = partition.Canonical(parts)
 		e.stats.Improved++
+		e.sink.improved(partitionBackendName, a.Time, e.stats.Enumerated)
 	}
 	return true
 }
@@ -548,31 +576,52 @@ func solveExact(in *assign.Instance, opt Options) (assign.Assignment, bool, erro
 }
 
 // Solve is the unified co-optimization entry point: it dispatches on
-// Options.Strategy between the paper's partition flow (CoOptimize), the
-// two rectangle bin-packing backends (package pack), and the portfolio
-// racer that runs all three concurrently.
+// Options.Strategy to the matching registered backend — the paper's
+// partition flow (CoOptimize), the two rectangle bin-packing engines
+// (package pack), the exhaustive baseline of [8] — or to the portfolio
+// combinator that races a subset of them (Options.Portfolio)
+// concurrently.
 func Solve(s *soc.SOC, width int, opt Options) (Result, error) {
 	return SolveContext(context.Background(), s, width, opt)
 }
 
 // SolveContext is Solve with cancellation: every backend polls ctx (the
 // partition flow every cancelCheckMask+1 partitions, the packers at
-// each placement budget, the portfolio through each racer's derived
-// context) and returns ctx's error once it fires. Cancellation never
-// alters the result of a run that completes — it is the seam the
-// serving layer (internal/serve) uses to abandon in-flight solves on
-// shutdown, and what the portfolio racer builds its consequence-free
-// backend cancellation on.
+// each placement budget, the exhaustive baseline at every partition,
+// the portfolio through each racer's derived context) and returns ctx's
+// error once it fires. Cancellation never alters the result of a run
+// that completes — it is the seam the serving layer (internal/serve)
+// uses to abandon in-flight solves on shutdown, and what the portfolio
+// combinator builds its consequence-free backend cancellation on.
 func SolveContext(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
-	switch opt.Strategy {
-	case StrategyPacking:
-		return solvePacking(ctx, s, width, opt)
-	case StrategyDiagonal:
-		return solveDiagonal(ctx, s, width, opt)
-	case StrategyPortfolio:
-		return solvePortfolio(ctx, s, width, opt)
+	sink := newProgressSink(opt.Progress)
+	if opt.Strategy == StrategyPortfolio {
+		return solvePortfolio(ctx, s, width, opt, sink)
 	}
-	return coOptimize(ctx, s, width, opt)
+	e, ok := engineOf(opt.Strategy)
+	if !ok {
+		return Result{}, fmt.Errorf("coopt: no registered backend for strategy %v", opt.Strategy)
+	}
+	return runFramed(ctx, e, s, width, opt, sink)
+}
+
+// runFramed runs one engine inside the documented progress framing:
+// start, the engine's own improvement events, then exactly one done or
+// cancelled. Shared by SolveContext's dispatch and Backend.Solve so
+// every single-engine entry point delivers the same per-backend event
+// discipline.
+func runFramed(ctx context.Context, e *engine, s *soc.SOC, width int, opt Options, sink *progressSink) (Result, error) {
+	sink.start(e.info.Name)
+	res, err := e.solve(ctx, s, width, opt, sink)
+	switch {
+	case err == nil:
+		sink.done(e.info.Name, res.Time, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		sink.cancelled(e.info.Name)
+	default:
+		sink.done(e.info.Name, 0, err)
+	}
+	return res, err
 }
 
 // PartitionEvaluate solves P_PAW heuristically for a fixed TAM count:
@@ -588,14 +637,16 @@ func PartitionEvaluate(s *soc.SOC, width, numTAMs int, opt Options) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
+	sink := newProgressSink(opt.Progress)
 	if opt.workers() > 1 {
 		p := newParEvaluator(tables, opt, pc)
+		p.sink = sink
 		if err := p.evaluateB(width, numTAMs); err != nil {
 			return Result{}, err
 		}
 		return p.finish(width, started)
 	}
-	e := &evaluator{tables: tables, opt: opt, pc: pc}
+	e := &evaluator{tables: tables, opt: opt, pc: pc, sink: sink}
 	if err := e.evaluateB(width, numTAMs); err != nil {
 		return Result{}, err
 	}
@@ -616,17 +667,25 @@ func CoOptimize(s *soc.SOC, width int, opt Options) (Result, error) {
 // partition backend that can no longer win; cancellation never alters
 // the result of a run that completes.
 func coOptimize(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
+	return coOptimizeSink(ctx, s, width, opt, newProgressSink(opt.Progress))
+}
+
+// coOptimizeSink is coOptimize delivering progress into an existing
+// sink — the form the partition engine registers, so a Solve call's
+// events stay on one serialized stream whether the engine runs alone or
+// inside a portfolio race.
+func coOptimizeSink(ctx context.Context, s *soc.SOC, width int, opt Options, sink *progressSink) (Result, error) {
 	tables, err := TimeTables(s, width)
 	if err != nil {
 		return Result{}, err
 	}
-	return coOptimizeTables(ctx, s, tables, width, opt)
+	return coOptimizeTables(ctx, s, tables, width, opt, sink)
 }
 
 // coOptimizeTables is coOptimize on precomputed testing-time tables —
 // the seam the portfolio racer uses so the tables it derives its
 // cancellation bound from are not computed a second time.
-func coOptimizeTables(ctx context.Context, s *soc.SOC, tables [][]soc.Cycles, width int, opt Options) (Result, error) {
+func coOptimizeTables(ctx context.Context, s *soc.SOC, tables [][]soc.Cycles, width int, opt Options, sink *progressSink) (Result, error) {
 	started := time.Now()
 	pc, err := newPowerContext(s, opt)
 	if err != nil {
@@ -639,6 +698,7 @@ func coOptimizeTables(ctx context.Context, s *soc.SOC, tables [][]soc.Cycles, wi
 	if opt.workers() > 1 {
 		p := newParEvaluator(tables, opt, pc)
 		p.ctx = ctx
+		p.sink = sink
 		for b := 1; b <= maxB; b++ {
 			if err := p.evaluateB(width, b); err != nil {
 				return Result{}, err
@@ -646,7 +706,7 @@ func coOptimizeTables(ctx context.Context, s *soc.SOC, tables [][]soc.Cycles, wi
 		}
 		return p.finish(width, started)
 	}
-	e := &evaluator{tables: tables, opt: opt, pc: pc, ctx: ctx}
+	e := &evaluator{tables: tables, opt: opt, pc: pc, ctx: ctx, sink: sink}
 	for b := 1; b <= maxB; b++ {
 		if err := e.evaluateB(width, b); err != nil {
 			return Result{}, err
@@ -670,7 +730,7 @@ func Exhaustive(s *soc.SOC, width, numTAMs int, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	e := exhaustiveState{tables: tables, opt: opt, pc: pc}
+	e := exhaustiveState{tables: tables, opt: opt, pc: pc, sink: newProgressSink(opt.Progress)}
 	if err := e.run(width, numTAMs); err != nil {
 		return Result{}, err
 	}
@@ -679,6 +739,15 @@ func Exhaustive(s *soc.SOC, width, numTAMs int, opt Options) (Result, error) {
 
 // ExhaustiveRange runs the [8] baseline over B = 1..MaxTAMs.
 func ExhaustiveRange(s *soc.SOC, width int, opt Options) (Result, error) {
+	return solveExhaustive(nil, s, width, opt, newProgressSink(opt.Progress))
+}
+
+// solveExhaustive is ExhaustiveRange as a registered engine: the [8]
+// baseline over B = 1..MaxTAMs with cancellation polled at every
+// partition (each costs one exact solve, so per-partition polling is
+// cheap relative to the work it can save) and progress delivered into
+// the enclosing Solve call's sink.
+func solveExhaustive(ctx context.Context, s *soc.SOC, width int, opt Options, sink *progressSink) (Result, error) {
 	started := time.Now()
 	tables, err := TimeTables(s, width)
 	if err != nil {
@@ -688,7 +757,7 @@ func ExhaustiveRange(s *soc.SOC, width int, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	e := exhaustiveState{tables: tables, opt: opt, pc: pc}
+	e := exhaustiveState{tables: tables, opt: opt, pc: pc, ctx: ctx, sink: sink}
 	maxB := opt.maxTAMs()
 	if maxB > width {
 		maxB = width
@@ -705,6 +774,8 @@ type exhaustiveState struct {
 	tables [][]soc.Cycles
 	opt    Options
 	pc     *powerContext
+	ctx    context.Context // nil = never cancelled
+	sink   *progressSink   // nil = no observer
 
 	best            soc.Cycles
 	bestPart        []int
@@ -722,6 +793,10 @@ func (e *exhaustiveState) run(width, numTAMs int) error {
 	}
 	var innerErr error
 	partition.Enumerate(width, numTAMs, func(parts []int) bool {
+		if e.ctx != nil && e.ctx.Err() != nil {
+			innerErr = e.ctx.Err()
+			return false
+		}
 		e.evaluated++
 		inst, err := assign.FromTimeTable(e.tables, parts)
 		if err != nil {
@@ -749,6 +824,7 @@ func (e *exhaustiveState) run(width, numTAMs int) error {
 			e.best = a.Time
 			e.bestPart = partition.Canonical(parts)
 			e.bestAssign = a
+			e.sink.improved(exhaustiveBackendName, a.Time, e.evaluated)
 		}
 		return true
 	})
@@ -761,6 +837,7 @@ func (e *exhaustiveState) result(width int, started time.Time) (Result, error) {
 	}
 	return Result{
 		TotalWidth:        width,
+		Strategy:          StrategyExhaustive,
 		Partition:         e.bestPart,
 		NumTAMs:           len(e.bestPart),
 		HeuristicTime:     e.best,

@@ -1,13 +1,15 @@
 // Package coopt is the top of the wrapper/TAM co-optimization stack
-// (ARCHITECTURE.md §3, §5, §8–§9): the DATE 2002 paper's
+// (ARCHITECTURE.md §3, §5, §8–§9, §11): the DATE 2002 paper's
 // Partition_evaluate heuristic (Figure 3) for the problems P_PAW and
-// P_NPAW, the exact final optimization step, the exhaustive
-// enumerate-and-solve baseline of the earlier JETTA 2002 work [8] that
-// the paper compares against, and the strategy dispatch over the
-// alternative backends: rectangle bin-packing (StrategyPacking),
-// diagonal-length bin-packing (StrategyDiagonal), and the portfolio
-// racer (StrategyPortfolio) that runs all three concurrently against a
-// shared incumbent bound and returns the winner.
+// P_NPAW, the exact final optimization step, and the solver-engine
+// registry (backend.go) that Solve dispatches over — the partition
+// flow, rectangle bin-packing (StrategyPacking), diagonal-length
+// bin-packing (StrategyDiagonal), the exhaustive enumerate-and-solve
+// baseline of the earlier JETTA 2002 work [8] (StrategyExhaustive),
+// and the portfolio combinator (StrategyPortfolio) that races any
+// registered subset concurrently against a shared incumbent bound and
+// returns the winner. Options.Progress streams backend lifecycle and
+// incumbent-improvement events from any run (progress.go).
 //
 // The partition flow mirrors the paper exactly:
 //

@@ -50,6 +50,7 @@ type parEvaluator struct {
 	opt    Options
 	pc     *powerContext
 	ctx    context.Context // nil = never cancelled
+	sink   *progressSink   // nil = no observer
 
 	best atomic.Int64 // running best testing time in cycles; 0 = none yet
 	// (a genuine 0-cycle best leaves the atomic at 0, which only costs
@@ -187,6 +188,10 @@ func (p *parEvaluator) record(t soc.Cycles, parts []int, tamOf []int, seq int64,
 		p.bestPart = partition.Canonical(parts)
 		p.bestSeq = seq
 		local.Improved++
+		// Emitted under p.mu, so the stream stays serialized; the times
+		// reported are strictly decreasing even though evaluation order
+		// is not the enumeration order.
+		p.sink.improved(partitionBackendName, t, int(seq)+1)
 	case t == cur && seq < p.bestSeq:
 		p.bestPart = partition.Canonical(parts)
 		p.bestSeq = seq

@@ -13,12 +13,17 @@ import (
 	"soctam/internal/soc"
 )
 
-// This file implements StrategyPortfolio: Solve races the partition,
-// packing and diagonal backends on concurrent goroutines and returns
-// the winner. The backends share the best completed testing time
-// through an atomic incumbent bound; a backend whose lower bound proves
-// it can neither beat nor tie-win the incumbent is cancelled via its
-// context. See ARCHITECTURE.md §9 for the determinism argument.
+// This file implements StrategyPortfolio as a combinator over the
+// backend registry: Solve races an arbitrary subset of the registered
+// engines (Options.Portfolio; the default is every non-exact engine) on
+// concurrent goroutines and returns the winner. The backends share the
+// best completed testing time through an atomic incumbent bound; a
+// backend whose lower bound proves it can neither beat nor tie-win the
+// incumbent is cancelled via its context. Tie-break ranks come from
+// registration order, never from the subset's spelling, so racing any
+// subset reproduces the standalone results of its members bit for bit.
+// See ARCHITECTURE.md §9 for the determinism argument and §11 for the
+// registry.
 //
 // Sharing is deliberately limited to provably consequence-free
 // cancellation. Feeding the cross-backend incumbent into a backend's
@@ -31,7 +36,7 @@ import (
 // returns a worse time than the best single backend.
 
 // BackendRun is one racer's outcome inside a portfolio run, in the
-// fixed strategy order (partition, packing, diagonal).
+// fixed registration (tie-break) order of the racing subset.
 type BackendRun struct {
 	// Strategy is the backend this entry describes.
 	Strategy Strategy
@@ -50,20 +55,20 @@ type BackendRun struct {
 	Winner bool
 }
 
-// strategyOrder is the fixed tie-break order of the race: on equal
-// testing times the earlier strategy wins, at any worker count and
-// whatever the finishing order was.
-func strategyOrder(s Strategy) int { return int(s) }
-
 // incumbent is the shared best-completed testing time of the race,
-// encoded into a single atomic word as time<<2 | strategyOrder so that
-// smaller means lexicographically better on (time, tie-break order).
+// encoded into a single atomic word as time<<rankBits | rank so that
+// smaller means lexicographically better on (time, tie-break rank).
 type incumbent struct{ v atomic.Int64 }
+
+// rankBits is the low-bit budget for the tie-break rank; registries of
+// up to 1<<rankBits engines race with full cancellation power.
+const rankBits = 3
 
 // maxEncodable is the largest testing time the incumbent encoding
 // carries; beyond it offers saturate to "no information", which only
-// costs cancellation opportunities, never correctness.
-const maxEncodable = soc.Cycles(1) << 60
+// costs cancellation opportunities, never correctness. Ranks beyond the
+// bit budget saturate the same way.
+const maxEncodable = soc.Cycles(1) << (63 - rankBits)
 
 func newIncumbent() *incumbent {
 	in := &incumbent{}
@@ -72,12 +77,12 @@ func newIncumbent() *incumbent {
 }
 
 // offer records a completed backend's testing time, keeping the
-// lexicographic minimum of (time, strategy order) across all offers.
-func (in *incumbent) offer(t soc.Cycles, order int) {
-	if t >= maxEncodable {
+// lexicographic minimum of (time, rank) across all offers.
+func (in *incumbent) offer(t soc.Cycles, rank int) {
+	if t >= maxEncodable || rank >= 1<<rankBits {
 		return
 	}
-	enc := int64(t)<<2 | int64(order)
+	enc := int64(t)<<rankBits | int64(rank)
 	for {
 		cur := in.v.Load()
 		if cur <= enc || in.v.CompareAndSwap(cur, enc) {
@@ -87,13 +92,13 @@ func (in *incumbent) offer(t soc.Cycles, order int) {
 }
 
 // beats reports whether the incumbent is strictly better than a
-// hypothetical result (t, order) — the cancellation test: a backend
+// hypothetical result (t, rank) — the cancellation test: a backend
 // whose best possible outcome is beaten cannot affect the race.
-func (in *incumbent) beats(t soc.Cycles, order int) bool {
-	if t >= maxEncodable {
+func (in *incumbent) beats(t soc.Cycles, rank int) bool {
+	if t >= maxEncodable || rank >= 1<<rankBits {
 		return false
 	}
-	return in.v.Load() < int64(t)<<2|int64(order)
+	return in.v.Load() < int64(t)<<rankBits|int64(rank)
 }
 
 // portfolioLowerBound is the architecture-independent lower bound every
@@ -103,55 +108,85 @@ func portfolioLowerBound(tables [][]soc.Cycles, s *soc.SOC, opt Options, width i
 	return lowerBoundWithCeiling(tables, s, width, opt.effectiveCeiling(s))
 }
 
-// portfolioPartitionWorkers returns the worker count the partition
-// racer gets inside a portfolio run: the resolved Workers minus one for
-// each single-threaded packing racer, never below one.
-func (o Options) portfolioPartitionWorkers() int {
-	w := o.workers() - 2
+// portfolioRacers resolves how many backends the configured subset
+// races (the default subset on a bad spec: sizing never fails, Solve
+// reports the spec error).
+func (o Options) portfolioRacers() int {
+	subset, err := resolveSubset(o.Portfolio)
+	if err != nil {
+		return len(defaultSubset())
+	}
+	return len(subset)
+}
+
+// partitionWorkersForRace returns the worker count the partition racer
+// gets in a race of n backends: the resolved Workers minus one for
+// each other racer (they are single-threaded), never below one.
+func (o Options) partitionWorkersForRace(n int) int {
+	w := o.workers() - (n - 1)
 	if w < 1 {
 		return 1
 	}
 	return w
 }
 
+// portfolioPartitionWorkers is partitionWorkersForRace over the
+// configured subset — the form the public predicate below needs, where
+// no resolved subset is in scope.
+func (o Options) portfolioPartitionWorkers() int {
+	return o.partitionWorkersForRace(o.portfolioRacers())
+}
+
 // PortfolioPartitionParallel reports whether the partition racer inside
 // a portfolio run evaluates partitions on a worker pool — i.e. whether
 // the Stats split of a partition-won portfolio Result is
 // evaluation-order dependent (the ParallelEvaluation analogue for
-// StrategyPortfolio).
-func (o Options) PortfolioPartitionParallel() bool { return o.portfolioPartitionWorkers() > 1 }
+// StrategyPortfolio). False when the configured subset does not race
+// the partition flow at all.
+func (o Options) PortfolioPartitionParallel() bool {
+	if subset, err := resolveSubset(o.Portfolio); err == nil {
+		racesPartition := false
+		for _, e := range subset {
+			if e.strategy == StrategyPartition {
+				racesPartition = true
+			}
+		}
+		if !racesPartition {
+			return false
+		}
+	}
+	return o.portfolioPartitionWorkers() > 1
+}
 
-// solvePortfolio races the partition, packing and diagonal backends
-// concurrently and returns the winner: the best testing time, ties
-// broken by the fixed strategy order. Each backend runs its standalone
-// algorithm unchanged (so the portfolio time equals the minimum of the
+// solvePortfolio races the subset of registered backends selected by
+// Options.Portfolio (default: every non-exact engine) concurrently and
+// returns the winner: the best testing time, ties broken by the fixed
+// registration order. Each backend runs its standalone algorithm
+// unchanged (so the portfolio time equals the minimum of the
 // single-backend times, bit for bit at any Workers setting); the
 // incumbent bound cancels a backend only when it provably cannot win.
 // The backends' contexts derive from the caller's parent ctx, so
 // cancelling it stops the whole race (SolveContext's contract).
-func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
+// Lifecycle and improvement events from every racer deliver into the
+// one sink, serialized.
+func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options, sink *progressSink) (Result, error) {
 	started := time.Now()
+	backends, err := resolveSubset(opt.Portfolio)
+	if err != nil {
+		return Result{}, err
+	}
 	tables, err := TimeTables(s, width) // validates SOC and width up front
 	if err != nil {
 		return Result{}, err
 	}
 	lb := portfolioLowerBound(tables, s, opt, width)
 
-	// Workers split: the packing racers are single-threaded, so each
-	// reserves one resolved worker and the partition flow's pool gets
-	// the rest (never below one).
+	// Workers split: every racer but the partition flow is
+	// single-threaded, so each reserves one resolved worker and the
+	// partition flow's pool gets the rest (never below one).
 	partOpt := opt
 	partOpt.Strategy = StrategyPartition
-	partOpt.Workers = opt.portfolioPartitionWorkers()
-
-	backends := []struct {
-		strategy Strategy
-		run      func(ctx context.Context) (Result, error)
-	}{
-		{StrategyPartition, func(ctx context.Context) (Result, error) { return coOptimizeTables(ctx, s, tables, width, partOpt) }},
-		{StrategyPacking, func(ctx context.Context) (Result, error) { return solvePacking(ctx, s, width, opt) }},
-		{StrategyDiagonal, func(ctx context.Context) (Result, error) { return solveDiagonal(ctx, s, width, opt) }},
-	}
+	partOpt.Workers = opt.partitionWorkersForRace(len(backends))
 
 	type outcome struct {
 		res     Result
@@ -167,16 +202,33 @@ func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options) 
 		ctx, cancel := context.WithCancel(parent)
 		cancels[i] = cancel
 		wg.Add(1)
-		go func(i int, run func(context.Context) (Result, error), order int) {
+		go func(i int, b *engine, rank int) {
 			defer wg.Done()
 			t0 := time.Now()
-			res, err := run(ctx)
+			sink.start(b.info.Name)
+			var res Result
+			var err error
+			if b.strategy == StrategyPartition {
+				// The partition racer re-uses the precomputed tables (the
+				// same ones the cancellation bound derives from); every
+				// other engine runs through its registered entry point.
+				res, err = coOptimizeTables(ctx, s, tables, width, partOpt, sink)
+			} else {
+				runOpt := opt
+				runOpt.Strategy = b.strategy
+				res, err = b.solve(ctx, s, width, runOpt, sink)
+			}
 			if err == nil {
-				bound.offer(res.Time, order)
+				bound.offer(res.Time, rank)
+				sink.done(b.info.Name, res.Time, nil)
+			} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				sink.cancelled(b.info.Name)
+			} else {
+				sink.done(b.info.Name, 0, err)
 			}
 			results[i] = outcome{res: res, err: err, elapsed: time.Since(t0)}
 			done <- i
-		}(i, b.run, strategyOrder(b.strategy))
+		}(i, b, rankOf(b))
 	}
 
 	// Monitor: after every completion, cancel any still-running backend
@@ -188,7 +240,7 @@ func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options) 
 	for range backends {
 		finished[<-done] = true
 		for j, b := range backends {
-			if !finished[j] && bound.beats(lb, strategyOrder(b.strategy)) {
+			if !finished[j] && bound.beats(lb, rankOf(b)) {
 				cancels[j]()
 			}
 		}
@@ -206,12 +258,16 @@ func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options) 
 		switch {
 		case out.err == nil:
 			runs[i].Time = out.res.Time
-			// Strict < keeps the earlier strategy on ties: backends are
-			// visited in strategy order.
+			// Strict < keeps the earlier backend on ties: backends are
+			// visited in registration (tie-break) order.
 			if winner < 0 || out.res.Time < results[winner].res.Time {
 				winner = i
 			}
-		case errors.Is(out.err, context.Canceled):
+		// Both context errors are cancellations here (the monitor cancels
+		// via context.Canceled; a parent deadline delivers
+		// DeadlineExceeded) — matching the racer's progress events, which
+		// report both as cancelled.
+		case errors.Is(out.err, context.Canceled), errors.Is(out.err, context.DeadlineExceeded):
 			runs[i].Cancelled = true
 		default:
 			runs[i].Err = out.err.Error()
@@ -227,7 +283,7 @@ func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options) 
 		var msgs []string
 		for i, b := range backends {
 			if results[i].err != nil && !runs[i].Cancelled {
-				msgs = append(msgs, fmt.Sprintf("%s: %v", b.strategy, results[i].err))
+				msgs = append(msgs, fmt.Sprintf("%s: %v", b.info.Name, results[i].err))
 			}
 		}
 		return Result{}, fmt.Errorf("coopt: every portfolio backend failed (%s)", strings.Join(msgs, "; "))

@@ -7,31 +7,57 @@ import (
 	"soctam/internal/report"
 )
 
+// raceableBackends returns the engines the bare portfolio races — every
+// registered non-exact, non-combinator backend, in registration (tie
+// break) order. The experiment derives its columns from the registry so
+// a newly registered heuristic joins the comparison without touching
+// this file.
+func raceableBackends() []coopt.BackendInfo {
+	var out []coopt.BackendInfo
+	for _, info := range coopt.Solvers() {
+		if !info.Exact && !info.Combinator {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
 // PortfolioVsSingle compares the portfolio racer against every single
 // backend on each benchmark SOC over the width sweep: the race must
 // return the best single-backend time (the portfolio invariant), and
 // the interesting question is which backend wins where and what the
-// race costs in wall clock against running the three backends one after
+// race costs in wall clock against running the backends one after
 // another. This experiment has no counterpart in the source paper — it
 // quantifies the multi-backend scenario the ROADMAP's north star asks
-// for.
+// for. The racing set comes from the solver-engine registry, so the
+// tables grow a column per newly registered heuristic.
 func PortfolioVsSingle(opt Options) ([]*report.Table, error) {
 	cfg := opt.cooptOptions()
+	backends := raceableBackends()
 	var tables []*report.Table
 	for _, name := range []string{"d695", "p21241", "p31108", "p93791"} {
 		s, err := benchmarkSOC(name)
 		if err != nil {
 			return nil, err
 		}
+		header := []string{"W"}
+		for _, b := range backends {
+			header = append(header, "T_"+b.Name)
+		}
+		header = append(header, "T_portfolio", "winner", "t_serial (s)", "t_race (s)")
 		t := &report.Table{
-			Title: fmt.Sprintf("Portfolio vs single backends: %s, best-of-three race with incumbent cancellation", name),
-			Header: []string{"W", "T_part", "T_pack", "T_diag", "T_portfolio",
-				"winner", "t_serial (s)", "t_race (s)"},
+			Title: fmt.Sprintf("Portfolio vs single backends: %s, best-of-%d race with incumbent cancellation",
+				name, len(backends)),
+			Header: header,
 		}
 		for _, w := range opt.widths() {
-			var times [3]string
+			times := make([]string, len(backends))
 			var serial float64
-			for i, strat := range []coopt.Strategy{coopt.StrategyPartition, coopt.StrategyPacking, coopt.StrategyDiagonal} {
+			for i, b := range backends {
+				strat, err := coopt.ParseStrategy(b.Name)
+				if err != nil {
+					return nil, err
+				}
 				c := cfg
 				c.Strategy = strat
 				res, err := coopt.Solve(s, w, c)
@@ -47,16 +73,17 @@ func PortfolioVsSingle(opt Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(fmt.Sprint(w),
-				times[0], times[1], times[2],
+			row := append([]string{fmt.Sprint(w)}, times...)
+			row = append(row,
 				report.Cycles(race.Time),
 				race.Strategy.String(),
 				fmt.Sprintf("%.3f", serial),
 				fmt.Sprintf("%.3f", race.Elapsed.Seconds()),
 			)
+			t.AddRow(row...)
 		}
-		t.AddNote("T_portfolio is always min(T_part, T_pack, T_diag); ties go to the earlier strategy")
-		t.AddNote("t_serial sums the three standalone runs; t_race is the concurrent portfolio wall clock")
+		t.AddNote("T_portfolio is always the minimum of the single-backend times; ties go to the earlier-registered backend")
+		t.AddNote("t_serial sums the standalone runs; t_race is the concurrent portfolio wall clock")
 		tables = append(tables, t)
 	}
 	return tables, nil

@@ -5,8 +5,10 @@
 // API.md).
 //
 // The endpoints are POST /v1/solve (one job), POST /v1/batch (many
-// jobs, answered as NDJSON lines in completion order), GET /v1/healthz
-// and GET /v1/stats. Command wtamd is the production entry point and
+// jobs, answered as NDJSON lines in completion order), GET /v1/solvers
+// (capability discovery over the solver-engine registry), GET
+// /v1/healthz and GET /v1/stats. Command wtamd is the production
+// entry point and
 // "wtam -serve" the escape hatch; both run Run, which listens, prints
 // the bound address and serves until the context is cancelled.
 //

@@ -33,7 +33,14 @@ type solveRequest struct {
 // "workers" field — it could not change any result, only split cache
 // entries if it leaked into the key.
 type optionsJSON struct {
-	Strategy    string `json:"strategy,omitempty"`
+	// Strategy is a backend name from GET /v1/solvers or a portfolio
+	// subset spec ("portfolio:partition,exhaustive"); names are
+	// whitespace-trimmed and case-insensitive.
+	Strategy string `json:"strategy,omitempty"`
+	// Portfolio is the race subset as a comma-separated backend list —
+	// the spec tail without the "portfolio:" prefix. It implies strategy
+	// "portfolio" and conflicts with a spec already carrying a subset.
+	Portfolio   string `json:"portfolio,omitempty"`
 	MaxTAMs     int    `json:"max_tams,omitempty"`
 	MaxPower    int    `json:"max_power,omitempty"`
 	FinalSolver string `json:"final_solver,omitempty"`
@@ -191,11 +198,26 @@ func parseJob(req *solveRequest) (*soc.SOC, int, coopt.Options, *httpError) {
 	var opt coopt.Options
 	if o := req.Options; o != nil {
 		if o.Strategy != "" {
-			strat, err := coopt.ParseStrategy(o.Strategy)
+			strat, subset, err := coopt.ParseSpec(o.Strategy)
 			if err != nil {
 				return nil, 0, coopt.Options{}, badRequest("%v", err)
 			}
 			opt.Strategy = strat
+			opt.Portfolio = subset
+		}
+		if o.Portfolio != "" {
+			if opt.Strategy != coopt.StrategyPortfolio && o.Strategy != "" {
+				return nil, 0, coopt.Options{}, badRequest(`"portfolio" requires strategy "portfolio", got %q`, o.Strategy)
+			}
+			if opt.Portfolio != "" {
+				return nil, 0, coopt.Options{}, badRequest(`use either a "portfolio:..." strategy spec or the "portfolio" field, not both`)
+			}
+			strat, subset, err := coopt.ParseSpec("portfolio:" + o.Portfolio)
+			if err != nil {
+				return nil, 0, coopt.Options{}, badRequest("%v", err)
+			}
+			opt.Strategy = strat
+			opt.Portfolio = subset
 		}
 		switch o.FinalSolver {
 		case "", "bb":
@@ -238,18 +260,19 @@ func decodeStrict(r *http.Request, v any) *httpError {
 }
 
 // Handler returns the service's HTTP handler: POST /v1/solve, POST
-// /v1/batch, GET /v1/healthz, GET /v1/stats. Every response is JSON
-// (NDJSON for batch); see API.md for the schemas, error codes and curl
-// examples.
+// /v1/batch, GET /v1/solvers, GET /v1/healthz, GET /v1/stats. Every
+// response is JSON (NDJSON for batch); see API.md for the schemas,
+// error codes and curl examples.
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", method(http.MethodPost, sv.handleSolve))
 	mux.HandleFunc("/v1/batch", method(http.MethodPost, sv.handleBatch))
+	mux.HandleFunc("/v1/solvers", method(http.MethodGet, sv.handleSolvers))
 	mux.HandleFunc("/v1/healthz", method(http.MethodGet, sv.handleHealthz))
 	mux.HandleFunc("/v1/stats", method(http.MethodGet, sv.handleStats))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &httpError{status: http.StatusNotFound, code: "not_found",
-			msg: fmt.Sprintf("no such endpoint %s (have /v1/solve, /v1/batch, /v1/healthz, /v1/stats)", r.URL.Path)})
+			msg: fmt.Sprintf("no such endpoint %s (have /v1/solve, /v1/batch, /v1/solvers, /v1/healthz, /v1/stats)", r.URL.Path)})
 	})
 	return mux
 }
@@ -322,7 +345,9 @@ func toResultJSON(s *soc.SOC, res coopt.Result) resultJSON {
 		PeakPower:         res.PeakPower,
 		SolveMS:           float64(res.Elapsed) / float64(time.Millisecond),
 	}
-	if res.Strategy == coopt.StrategyPartition && res.Packing == nil {
+	// The enumerating backends report their evaluation counters; the
+	// packers have none (a packed schedule has no partition enumeration).
+	if res.Packing == nil && (res.Strategy == coopt.StrategyPartition || res.Strategy == coopt.StrategyExhaustive) {
 		st := statsJSON(res.Stats)
 		out.Stats = &st
 	}
@@ -435,6 +460,37 @@ func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// solverJSON is one GET /v1/solvers entry: a registered backend's name
+// and capability flags — the discovery surface clients use to build
+// strategy and portfolio-subset requests without hard-coding the
+// engine set.
+type solverJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	PowerAware  bool   `json:"power_aware"`
+	Cancellable bool   `json:"cancellable"`
+	Exact       bool   `json:"exact"`
+	Combinator  bool   `json:"combinator,omitempty"`
+}
+
+func (sv *Server) handleSolvers(w http.ResponseWriter, _ *http.Request) {
+	infos := coopt.Solvers()
+	out := struct {
+		Solvers []solverJSON `json:"solvers"`
+	}{Solvers: make([]solverJSON, len(infos))}
+	for i, info := range infos {
+		out.Solvers[i] = solverJSON{
+			Name:        info.Name,
+			Description: info.Description,
+			PowerAware:  info.PowerAware,
+			Cancellable: info.Cancellable,
+			Exact:       info.Exact,
+			Combinator:  info.Combinator,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (sv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -172,10 +172,10 @@ type Meta struct {
 // fingerprint (or consciously excluded, like Workers).
 func jobKey(digest string, width int, opt coopt.Options) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|w=%d|strat=%d|maxtams=%d|solver=%d|node=%d|ilpnode=%d|skipfinal=%t|noabort=%t|enum=%d|plain=%t|maxpower=%d",
+	fmt.Fprintf(h, "%s|w=%d|strat=%d|maxtams=%d|solver=%d|node=%d|ilpnode=%d|skipfinal=%t|noabort=%t|enum=%d|plain=%t|maxpower=%d|portfolio=%s",
 		digest, width, opt.Strategy, opt.MaxTAMs, opt.FinalSolver, opt.NodeLimit,
 		opt.ILPNodeLimit, opt.SkipFinal, opt.NoEarlyAbort, opt.Enumeration,
-		opt.PlainCoreAssign, opt.MaxPower)
+		opt.PlainCoreAssign, opt.MaxPower, opt.Portfolio)
 	return fmt.Sprintf("job:%x", h.Sum(nil))
 }
 

@@ -1,0 +1,75 @@
+package soctam_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"soctam"
+)
+
+// TestReadmeStrategyTableMatchesSolvers keeps the README's "Choosing a
+// strategy" table honest: one row per Solvers() entry, in registration
+// order, with the capability columns agreeing with the registry flags.
+// Registering a new backend without regenerating the table fails here.
+func TestReadmeStrategyTableMatchesSolvers(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	var rows []string
+	inTable := false
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "| Backend |"):
+			inTable = true
+		case inTable && strings.HasPrefix(line, "|--"), inTable && strings.HasPrefix(line, "|--- "), inTable && strings.HasPrefix(line, "|---"):
+			// separator row
+		case inTable && strings.HasPrefix(line, "|"):
+			rows = append(rows, line)
+		case inTable:
+			inTable = false
+		}
+	}
+	infos := soctam.Solvers()
+	if len(rows) != len(infos) {
+		t.Fatalf("README strategy table has %d rows, Solvers() lists %d backends", len(rows), len(infos))
+	}
+	yes := func(cell string) bool { return strings.Contains(strings.ToLower(cell), "yes") }
+	for i, info := range infos {
+		cells := strings.Split(rows[i], "|")
+		// Leading/trailing empty cells from the outer pipes.
+		if len(cells) < 7 {
+			t.Errorf("row %d malformed: %q", i, rows[i])
+			continue
+		}
+		name, power, cancel, exact := cells[1], cells[2], cells[3], cells[4]
+		if !strings.Contains(name, fmt.Sprintf("`%s`", info.Name)) {
+			t.Errorf("row %d names %s, registry has %q (registration order)", i, name, info.Name)
+		}
+		if yes(power) != info.PowerAware || yes(cancel) != info.Cancellable || yes(exact) != info.Exact {
+			t.Errorf("row %q flags disagree with registry %+v", rows[i], info)
+		}
+	}
+}
+
+// TestReadmeMentionsEveryStrategyName is the coarse net under the table
+// test: every selectable name (and the spec syntax) appears somewhere
+// in the README.
+func TestReadmeMentionsEveryStrategyName(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, name := range soctam.StrategyNames() {
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("README never mentions strategy `%s`", name)
+		}
+	}
+	if !strings.Contains(text, "portfolio:") {
+		t.Error("README never shows the portfolio subset spec syntax")
+	}
+}

@@ -12,12 +12,17 @@
 // The top-level entry points are:
 //
 //   - Solve (and its cancellable form SolveContext): the unified entry
-//     point — the paper's partition flow, one of the two rectangle
-//     bin-packing heuristics, or the portfolio racer that runs all
-//     three concurrently and returns the winner, selected by
-//     Options.Strategy, with partition evaluation parallelized across
-//     Options.Workers and an optional peak-power ceiling enforced via
-//     Options.MaxPower (or the SOC's own MaxPower);
+//     point — any backend registered in the solver-engine registry (the
+//     paper's partition flow, the two rectangle bin-packing heuristics,
+//     the exact exhaustive baseline) or the portfolio combinator that
+//     races a subset of them and returns the winner, selected by
+//     Options.Strategy (and Options.Portfolio for the race subset),
+//     with partition evaluation parallelized across Options.Workers, an
+//     optional peak-power ceiling enforced via Options.MaxPower (or the
+//     SOC's own MaxPower), and live observability via Options.Progress;
+//   - Solvers / LookupBackend / ParseStrategySpec: the registry's
+//     discovery surface — every selectable backend with its capability
+//     flags (power-aware, cancellable, exact, combinator);
 //   - CoOptimize: the paper's full flow (Partition_evaluate heuristic +
 //     exact final optimization) for the problem P_NPAW;
 //   - PackRectangles / PackRectanglesDiagonal / PackingLowerBound:
@@ -80,6 +85,18 @@ type (
 	// BackendRun is one racer's outcome inside a portfolio run
 	// (Result.Portfolio).
 	BackendRun = coopt.BackendRun
+	// Backend is one registered co-optimization engine behind Solve.
+	Backend = coopt.Backend
+	// BackendInfo describes a registered backend: name and capability
+	// flags (power-aware, cancellable, exact, combinator).
+	BackendInfo = coopt.BackendInfo
+	// ProgressEvent is one solver progress notification delivered to
+	// Options.Progress.
+	ProgressEvent = coopt.ProgressEvent
+	// ProgressFunc receives progress events (Options.Progress).
+	ProgressFunc = coopt.ProgressFunc
+	// ProgressKind classifies a ProgressEvent.
+	ProgressKind = coopt.ProgressKind
 
 	// PackingSchedule is a rectangle bin-packing of an SOC's tests.
 	PackingSchedule = pack.Schedule
@@ -114,20 +131,62 @@ const (
 	// StrategyDiagonal is rectangle bin-packing with the diagonal-length
 	// heuristic of arXiv:1008.4446.
 	StrategyDiagonal = coopt.StrategyDiagonal
-	// StrategyPortfolio races the partition, packing and diagonal
-	// backends concurrently and returns the winner, with per-backend
-	// attribution in Result.Portfolio.
+	// StrategyPortfolio races a subset of the registered backends
+	// concurrently (Options.Portfolio; by default every non-exact
+	// engine) and returns the winner, with per-backend attribution in
+	// Result.Portfolio.
 	StrategyPortfolio = coopt.StrategyPortfolio
+	// StrategyExhaustive is the exact enumerate-and-solve baseline of
+	// [8] behind Solve: proven optimal, exponential cost, raceable only
+	// when a portfolio spec names it.
+	StrategyExhaustive = coopt.StrategyExhaustive
+)
+
+// Progress event kinds for ProgressEvent.Kind.
+const (
+	// ProgressBackendStart fires when a backend begins solving.
+	ProgressBackendStart = coopt.ProgressBackendStart
+	// ProgressBackendDone fires when a backend completes.
+	ProgressBackendDone = coopt.ProgressBackendDone
+	// ProgressBackendCancelled fires when a racer is stopped because it
+	// provably could no longer win (or the caller's context fired).
+	ProgressBackendCancelled = coopt.ProgressBackendCancelled
+	// ProgressImproved fires when a backend's running best improves.
+	ProgressImproved = coopt.ProgressImproved
 )
 
 // ParseStrategy maps a strategy name ("partition", "packing",
-// "diagonal", "portfolio") to its constant; the error of an unknown
-// name lists every valid choice.
+// "diagonal", "exhaustive", "portfolio") to its constant, trimming
+// whitespace and matching case-insensitively; the error of an unknown
+// name lists every valid choice. For portfolio subset specs
+// ("portfolio:partition,diagonal") use ParseStrategySpec.
 func ParseStrategy(name string) (Strategy, error) { return coopt.ParseStrategy(name) }
 
-// StrategyNames returns the names ParseStrategy accepts, in the
-// portfolio's fixed racing/tie-break order.
+// ParseStrategySpec parses a strategy spec: a bare strategy name, or a
+// portfolio subset "portfolio:name,name,..." racing exactly the named
+// backends. It returns the strategy and, for a subset spec, the
+// canonical Options.Portfolio value (names folded and re-ordered into
+// registration order — the portfolio's tie-break order, which the
+// spec's own order never changes).
+func ParseStrategySpec(spec string) (Strategy, string, error) { return coopt.ParseSpec(spec) }
+
+// StrategyNames returns the names ParseStrategy accepts: the registered
+// backends in the portfolio's fixed racing/tie-break order, then
+// "portfolio".
 func StrategyNames() []string { return coopt.StrategyNames() }
+
+// Solvers returns the BackendInfo of every selectable backend — the
+// registered engines in registration order, then the portfolio
+// combinator — with their capability flags. It is the discovery
+// surface behind the wtamd GET /v1/solvers endpoint and the README
+// strategy table.
+func Solvers() []BackendInfo { return coopt.Solvers() }
+
+// LookupBackend returns the registered engine with the given name
+// (whitespace-trimmed, case-insensitive), or false. The portfolio
+// combinator is not an engine and is not found here; select it via
+// Options.Strategy.
+func LookupBackend(name string) (Backend, bool) { return coopt.LookupBackend(name) }
 
 // ParseSOC reads an SOC in the .soc text format.
 func ParseSOC(r io.Reader) (*SOC, error) { return soc.Parse(r) }
