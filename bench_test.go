@@ -375,3 +375,45 @@ func BenchmarkILPAssignD695(b *testing.B) {
 		}
 	}
 }
+
+// --- Trajectory benches (cmd/benchjson) ---------------------------------
+
+// BenchmarkSolve is the per-SOC x per-strategy trajectory bench set that
+// cmd/benchjson records into BENCH_solve.json and gates in CI. Settings
+// are pinned (width 32, MaxTAMs 6, bounded final solve, one worker) so
+// that every PR measures the same work and the recorded ns/op, B/op and
+// allocs/op stay comparable across the repo's history.
+func BenchmarkSolve(b *testing.B) {
+	for _, name := range []string{"d695", "p21241", "p31108", "p93791"} {
+		s, err := socdata.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for _, strat := range []coopt.Strategy{
+				coopt.StrategyPartition,
+				coopt.StrategyPacking,
+				coopt.StrategyDiagonal,
+				coopt.StrategyPortfolio,
+			} {
+				b.Run(strat.String(), func(b *testing.B) {
+					b.ReportAllocs()
+					var last soctam.Cycles
+					for i := 0; i < b.N; i++ {
+						res, err := coopt.Solve(s, 32, coopt.Options{
+							Strategy:  strat,
+							MaxTAMs:   6,
+							NodeLimit: 200_000,
+							Workers:   1,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = res.Time
+					}
+					b.ReportMetric(float64(last), "cycles")
+				})
+			}
+		})
+	}
+}

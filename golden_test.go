@@ -35,6 +35,12 @@ type goldenEntry struct {
 // backend. testdata/golden_solve.json was generated from the tree at
 // PR 4, before any registry code existed. In -short mode only the two
 // smaller SOCs replay.
+//
+// Every entry replays twice — once sequentially (Workers = 1, the
+// paper's evaluation order) and once on the worker pool — because the
+// two paths run different scoring code (evaluator vs parEvaluator with
+// per-worker scratch buffers) and both must reproduce the golden
+// results bit for bit.
 func TestSolveMatchesPreRegistryGolden(t *testing.T) {
 	raw, err := os.ReadFile("testdata/golden_solve.json")
 	if err != nil {
@@ -64,29 +70,32 @@ func TestSolveMatchesPreRegistryGolden(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := soctam.Solve(s, e.Width, soctam.Options{Strategy: strat})
-		if err != nil {
-			t.Fatalf("%s W=%d %s: %v", e.SOC, e.Width, e.Strategy, err)
-		}
-		if int64(res.Time) != e.Time || int64(res.HeuristicTime) != e.HeuristicTime {
-			t.Errorf("%s W=%d %s: time %d/%d, golden %d/%d",
-				e.SOC, e.Width, e.Strategy, res.Time, res.HeuristicTime, e.Time, e.HeuristicTime)
-		}
-		if res.NumTAMs != e.NumTAMs || !reflect.DeepEqual(res.Partition, canonNil(e.Partition)) {
-			t.Errorf("%s W=%d %s: partition %v (%d TAMs), golden %v (%d)",
-				e.SOC, e.Width, e.Strategy, res.Partition, res.NumTAMs, e.Partition, e.NumTAMs)
-		}
-		if !reflect.DeepEqual(res.Assignment.TAMOf, canonNil(e.Assignment)) {
-			t.Errorf("%s W=%d %s: assignment %v, golden %v",
-				e.SOC, e.Width, e.Strategy, res.Assignment.TAMOf, e.Assignment)
-		}
-		if res.PeakPower != e.PeakPower || res.MaxPower != e.MaxPower || res.AssignmentOptimal != e.Optimal {
-			t.Errorf("%s W=%d %s: peak/max/optimal %d/%d/%t, golden %d/%d/%t",
-				e.SOC, e.Width, e.Strategy, res.PeakPower, res.MaxPower, res.AssignmentOptimal,
-				e.PeakPower, e.MaxPower, e.Optimal)
-		}
-		if e.Winner != "" && res.Strategy.String() != e.Winner {
-			t.Errorf("%s W=%d %s: winner %s, golden %s", e.SOC, e.Width, e.Strategy, res.Strategy, e.Winner)
+		for _, workers := range []int{1, 0} { // sequential, then the pool
+			res, err := soctam.Solve(s, e.Width, soctam.Options{Strategy: strat, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s W=%d %s workers=%d: %v", e.SOC, e.Width, e.Strategy, workers, err)
+			}
+			if int64(res.Time) != e.Time || int64(res.HeuristicTime) != e.HeuristicTime {
+				t.Errorf("%s W=%d %s workers=%d: time %d/%d, golden %d/%d",
+					e.SOC, e.Width, e.Strategy, workers, res.Time, res.HeuristicTime, e.Time, e.HeuristicTime)
+			}
+			if res.NumTAMs != e.NumTAMs || !reflect.DeepEqual(res.Partition, canonNil(e.Partition)) {
+				t.Errorf("%s W=%d %s workers=%d: partition %v (%d TAMs), golden %v (%d)",
+					e.SOC, e.Width, e.Strategy, workers, res.Partition, res.NumTAMs, e.Partition, e.NumTAMs)
+			}
+			if !reflect.DeepEqual(res.Assignment.TAMOf, canonNil(e.Assignment)) {
+				t.Errorf("%s W=%d %s workers=%d: assignment %v, golden %v",
+					e.SOC, e.Width, e.Strategy, workers, res.Assignment.TAMOf, e.Assignment)
+			}
+			if res.PeakPower != e.PeakPower || res.MaxPower != e.MaxPower || res.AssignmentOptimal != e.Optimal {
+				t.Errorf("%s W=%d %s workers=%d: peak/max/optimal %d/%d/%t, golden %d/%d/%t",
+					e.SOC, e.Width, e.Strategy, workers, res.PeakPower, res.MaxPower, res.AssignmentOptimal,
+					e.PeakPower, e.MaxPower, e.Optimal)
+			}
+			if e.Winner != "" && res.Strategy.String() != e.Winner {
+				t.Errorf("%s W=%d %s workers=%d: winner %s, golden %s",
+					e.SOC, e.Width, e.Strategy, workers, res.Strategy, e.Winner)
+			}
 		}
 	}
 }

@@ -128,28 +128,70 @@ func (a *Assignment) Validate(in *Instance) error {
 // and returns ok=false with the partial assignment (unassigned cores have
 // TAMOf -1).
 func CoreAssign(in *Instance, bestKnown soc.Cycles) (a Assignment, ok bool) {
-	return coreAssign(in, bestKnown, true)
+	var sc Scratch
+	return coreAssign(in, bestKnown, true, &sc)
 }
 
 // CoreAssignPlain is the ablation variant of CoreAssign without the
 // paper's two tie-break rules: TAM ties resolve by index and core ties by
 // index. The early-abort rule is retained.
 func CoreAssignPlain(in *Instance, bestKnown soc.Cycles) (a Assignment, ok bool) {
-	return coreAssign(in, bestKnown, false)
+	var sc Scratch
+	return coreAssign(in, bestKnown, false, &sc)
 }
 
-func coreAssign(in *Instance, bestKnown soc.Cycles, tieBreaks bool) (Assignment, bool) {
-	n, nb := in.NumCores(), in.NumTAMs()
-	a := Assignment{
-		TAMOf: make([]int, n),
-		Loads: make([]soc.Cycles, nb),
+// Scratch holds CoreAssign's working buffers for reuse across calls.
+// The zero value is ready; the buffers grow to the largest instance
+// seen. A Scratch belongs to one goroutine at a time.
+type Scratch struct {
+	tamOf     []int
+	loads     []soc.Cycles
+	lookAhead []int
+}
+
+// CoreAssignWith is CoreAssign writing into sc's buffers, so a caller
+// scoring many partitions (Partition_evaluate's inner loop) allocates
+// nothing per call. The returned assignment's TAMOf and Loads alias sc
+// and are valid only until the next call with the same scratch; callers
+// keeping a result must copy it.
+func CoreAssignWith(sc *Scratch, in *Instance, bestKnown soc.Cycles) (a Assignment, ok bool) {
+	return coreAssign(in, bestKnown, true, sc)
+}
+
+// CoreAssignPlainWith is CoreAssignPlain on a caller-owned scratch,
+// with the same aliasing rules as CoreAssignWith.
+func CoreAssignPlainWith(sc *Scratch, in *Instance, bestKnown soc.Cycles) (a Assignment, ok bool) {
+	return coreAssign(in, bestKnown, false, sc)
+}
+
+// grow returns s resized to n, reallocating only when the capacity is
+// short; contents are unspecified.
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
 	}
+	return s[:n]
+}
+
+func coreAssign(in *Instance, bestKnown soc.Cycles, tieBreaks bool, sc *Scratch) (Assignment, bool) {
+	n, nb := in.NumCores(), in.NumTAMs()
+	sc.tamOf = grow(sc.tamOf, n)
+	if cap(sc.loads) < nb {
+		sc.loads = make([]soc.Cycles, nb)
+	} else {
+		sc.loads = sc.loads[:nb]
+	}
+	for j := range sc.loads {
+		sc.loads[j] = 0
+	}
+	a := Assignment{TAMOf: sc.tamOf, Loads: sc.loads}
 	for i := range a.TAMOf {
 		a.TAMOf[i] = -1
 	}
 	// lookAhead[j] = widest TAM strictly narrower than TAM j (-1 if none):
 	// the paper's line 15 tie-break target.
-	lookAhead := make([]int, nb)
+	sc.lookAhead = grow(sc.lookAhead, nb)
+	lookAhead := sc.lookAhead
 	for j := range lookAhead {
 		lookAhead[j] = -1
 		for k := 0; k < nb; k++ {

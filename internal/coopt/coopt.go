@@ -174,6 +174,13 @@ type Options struct {
 	// schedule would breach the ceiling; the packing backend never
 	// places a rectangle into a breaching position.
 	MaxPower int
+
+	// curves carries the SOC's memoized wrapper curves from the portfolio
+	// combinator into the backends it races, so one Design_wrapper sweep
+	// serves the whole race. Purely a performance seam: backends receiving
+	// nil recompute identical curves themselves, so results never depend
+	// on it and Normalized clears it.
+	curves *wrapper.CurveSet
 }
 
 func (o Options) maxTAMs() int {
@@ -227,6 +234,7 @@ func (o Options) Normalized() Options {
 	if o.MaxPower < 0 {
 		o.MaxPower = 0
 	}
+	o.curves = nil
 	if o.Strategy != StrategyPortfolio {
 		// Only the portfolio reads the subset; anything else carrying one
 		// must not split cache entries.
@@ -334,22 +342,34 @@ type Result struct {
 // TimeTables computes T_i(w) for every core at w = 1..maxWidth; position
 // [i][w-1] is core i's testing time on a width-w TAM. The tables are the
 // shared input of every co-optimization flow, computed once per SOC.
+// The rows alias a memoized wrapper.CurveSet and must be treated as
+// read-only.
 func TimeTables(s *soc.SOC, maxWidth int) ([][]soc.Cycles, error) {
+	cs, err := curvesFor(s, maxWidth)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Tables(), nil
+}
+
+// curvesFor memoizes the whole SOC's wrapper curves — one shared
+// Design_wrapper sweep whose tables every backend of a Solve run reads,
+// instead of each backend re-deriving them. The validation order (SOC,
+// then width) matches the historical TimeTables exactly.
+func curvesFor(s *soc.SOC, maxWidth int) (*wrapper.CurveSet, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	if maxWidth < 1 {
 		return nil, fmt.Errorf("coopt: total TAM width %d < 1", maxWidth)
 	}
-	tables := make([][]soc.Cycles, len(s.Cores))
-	for i := range s.Cores {
-		t, err := wrapper.TimeTable(&s.Cores[i], maxWidth)
-		if err != nil {
-			return nil, fmt.Errorf("coopt: core %d: %w", i+1, err)
-		}
-		tables[i] = t
+	cs, err := wrapper.Curves(s, maxWidth)
+	if err != nil {
+		// Unreachable after the checks above (Curves validates the same
+		// two things), kept so a future wrapper error cannot vanish.
+		return nil, fmt.Errorf("coopt: %w", err)
 	}
-	return tables, nil
+	return cs, nil
 }
 
 // evaluator runs Core_assign over enumerated partitions, carrying the
@@ -368,6 +388,8 @@ type evaluator struct {
 	stats    Stats
 
 	scratch assign.Instance
+	asg     assign.Scratch
+	ps      powerScratch
 }
 
 // cancelCheckMask throttles context polls to one per 1024 partitions:
@@ -375,12 +397,26 @@ type evaluator struct {
 // on the hot path.
 const cancelCheckMask = 1023
 
-// runCoreAssign dispatches to the configured heuristic variant.
+// runCoreAssign dispatches to the configured heuristic variant. The
+// returned assignment owns its buffers — the form the cold paths
+// (finishResult) need, where the assignment outlives the call.
 func runCoreAssign(opt Options, in *assign.Instance, bound soc.Cycles) (assign.Assignment, bool) {
 	if opt.PlainCoreAssign {
 		return assign.CoreAssignPlain(in, bound)
 	}
 	return assign.CoreAssign(in, bound)
+}
+
+// runCoreAssignWith is runCoreAssign on a caller-owned scratch: the
+// returned assignment aliases sc and is valid only until the next call —
+// exactly what the per-partition scoring loop needs, where the
+// assignment is consumed (time read, TAMOf checked for power
+// feasibility) before the next partition is scored.
+func runCoreAssignWith(opt Options, sc *assign.Scratch, in *assign.Instance, bound soc.Cycles) (assign.Assignment, bool) {
+	if opt.PlainCoreAssign {
+		return assign.CoreAssignPlainWith(sc, in, bound)
+	}
+	return assign.CoreAssignWith(sc, in, bound)
 }
 
 // prepareScratch sizes the reusable instance for numTAMs TAMs.
@@ -410,8 +446,9 @@ func resizeInts(s []int, n int) []int {
 // parallel paths: it refills scratch with the partition's testing-time
 // columns, runs the configured Core_assign variant under bound (0 =
 // none) and books the evaluation into stats. completed is false when
-// the lines 18–20 abort fired.
-func scoreOne(tables [][]soc.Cycles, scratch *assign.Instance, parts []int, bound soc.Cycles, opt Options, stats *Stats) (a assign.Assignment, completed bool) {
+// the lines 18–20 abort fired. The returned assignment aliases asg and
+// is valid only until the next call with the same asg.
+func scoreOne(tables [][]soc.Cycles, scratch *assign.Instance, asg *assign.Scratch, parts []int, bound soc.Cycles, opt Options, stats *Stats) (a assign.Assignment, completed bool) {
 	stats.Enumerated++
 	copy(scratch.Widths, parts)
 	for i, table := range tables {
@@ -420,7 +457,7 @@ func scoreOne(tables [][]soc.Cycles, scratch *assign.Instance, parts []int, boun
 			row[j] = table[w-1]
 		}
 	}
-	a, completed = runCoreAssign(opt, scratch, bound)
+	a, completed = runCoreAssignWith(opt, asg, scratch, bound)
 	if !completed {
 		stats.Aborted++
 		return a, false
@@ -440,7 +477,7 @@ func (e *evaluator) evaluateOne(parts []int) bool {
 	if e.opt.NoEarlyAbort {
 		bound = 0
 	}
-	a, completed := scoreOne(e.tables, &e.scratch, parts, bound, e.opt, &e.stats)
+	a, completed := scoreOne(e.tables, &e.scratch, &e.asg, parts, bound, e.opt, &e.stats)
 	if !completed {
 		return true
 	}
@@ -451,7 +488,7 @@ func (e *evaluator) evaluateOne(parts []int) bool {
 		// Power feasibility is checked only on would-be improvements:
 		// it needs the full serial-per-TAM schedule, and partitions that
 		// cannot win cannot need it.
-		if !e.pc.feasible(e.tables, parts, a.TAMOf) {
+		if !e.pc.feasible(e.tables, parts, a.TAMOf, &e.ps) {
 			e.stats.PowerInfeasible++
 			return true
 		}
@@ -556,13 +593,13 @@ func finishResult(tables [][]soc.Cycles, opt Options, pc *powerContext, best soc
 		// better of the two (they are equal when the heuristic was
 		// already optimal) — unless its reshuffled schedule would breach
 		// the power ceiling the heuristic assignment respects.
-		if final.Time <= heur.Time && pc.feasible(tables, bestPart, final.TAMOf) {
+		if final.Time <= heur.Time && pc.feasible(tables, bestPart, final.TAMOf, nil) {
 			res.Assignment = final
 			res.Time = final.Time
 			res.AssignmentOptimal = optimal
 		}
 	}
-	res.PeakPower = pc.peak(tables, bestPart, res.Assignment.TAMOf)
+	res.PeakPower = pc.peak(tables, bestPart, res.Assignment.TAMOf, nil)
 	res.Elapsed = time.Since(started)
 	return res, nil
 }
@@ -817,7 +854,7 @@ func (e *exhaustiveState) run(width, numTAMs int) error {
 		// scheduling; a slower but feasible assignment of a rejected
 		// partition is not searched for).
 		if e.bestPart == nil || a.Time < e.best {
-			if !e.pc.feasible(e.tables, parts, a.TAMOf) {
+			if !e.pc.feasible(e.tables, parts, a.TAMOf, nil) {
 				e.powerInfeasible++
 				return true
 			}
@@ -845,7 +882,7 @@ func (e *exhaustiveState) result(width int, started time.Time) (Result, error) {
 		Time:              e.best,
 		AssignmentOptimal: e.allOptimal,
 		MaxPower:          e.pc.maxPower(),
-		PeakPower:         e.pc.peak(e.tables, e.bestPart, e.bestAssign.TAMOf),
+		PeakPower:         e.pc.peak(e.tables, e.bestPart, e.bestAssign.TAMOf, nil),
 		Stats:             Stats{Enumerated: e.evaluated, Completed: e.evaluated, PowerInfeasible: e.powerInfeasible},
 		Elapsed:           time.Since(started),
 	}, nil

@@ -15,7 +15,7 @@ import (
 // report — the schedule itself (Result.Packing) is the architecture.
 func solvePacking(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
 	started := time.Now()
-	sch, err := pack.PackContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower})
+	sch, err := pack.PackContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower, Curves: opt.curves})
 	if err != nil {
 		return Result{}, err
 	}
@@ -26,7 +26,7 @@ func solvePacking(ctx context.Context, s *soc.SOC, width int, opt Options) (Resu
 // (pack.PackDiagonal); the Result has the same shape as solvePacking's.
 func solveDiagonal(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
 	started := time.Now()
-	sch, err := pack.PackDiagonalContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower})
+	sch, err := pack.PackDiagonalContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower, Curves: opt.curves})
 	if err != nil {
 		return Result{}, err
 	}

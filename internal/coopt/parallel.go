@@ -63,10 +63,16 @@ type parEvaluator struct {
 	stats    Stats
 
 	seq int64 // next sequence number (touched only by the generator)
+
+	// free recycles drained batch slabs back to the generator so a long B
+	// sweep stops allocating one slab per 256 partitions once the pool
+	// warms up. Slabs whose capacity no longer fits (the TAM count grew)
+	// are simply dropped.
+	free chan []int
 }
 
 func newParEvaluator(tables [][]soc.Cycles, opt Options, pc *powerContext) *parEvaluator {
-	return &parEvaluator{tables: tables, opt: opt, pc: pc}
+	return &parEvaluator{tables: tables, opt: opt, pc: pc, free: make(chan []int, 4*opt.workers())}
 }
 
 // evaluateB enumerates all width partitions for a fixed TAM count and
@@ -100,7 +106,23 @@ func (p *parEvaluator) evaluateB(width, numTAMs int) error {
 // them to the pool in batches. A cancelled context stops the enumeration
 // at the next batch boundary (workers drain but skip remaining work).
 func (p *parEvaluator) generate(width, numTAMs int, jobs chan<- batch) error {
-	cur := batch{seq0: p.seq, width: numTAMs, flat: make([]int, 0, batchSize*numTAMs)}
+	// slab reuses a recycled flat buffer when one with enough capacity is
+	// waiting; the three-index slice pins the capacity to exactly one
+	// batch so the "batch full" test below stays a capacity check.
+	slab := func() []int {
+		want := batchSize * numTAMs
+		for {
+			select {
+			case s := <-p.free:
+				if cap(s) >= want {
+					return s[:0:want]
+				}
+			default:
+				return make([]int, 0, want)
+			}
+		}
+	}
+	cur := batch{seq0: p.seq, width: numTAMs, flat: slab()}
 	emit := func(parts []int) bool {
 		cur.flat = append(cur.flat, parts...)
 		p.seq++
@@ -109,7 +131,7 @@ func (p *parEvaluator) generate(width, numTAMs int, jobs chan<- batch) error {
 				return false
 			}
 			jobs <- cur
-			cur = batch{seq0: p.seq, width: numTAMs, flat: make([]int, 0, batchSize*numTAMs)}
+			cur = batch{seq0: p.seq, width: numTAMs, flat: slab()}
 		}
 		return true
 	}
@@ -134,27 +156,38 @@ func (p *parEvaluator) worker(numTAMs int, jobs <-chan batch) {
 	for i := range scratch.Times {
 		scratch.Times[i] = make([]soc.Cycles, numTAMs)
 	}
+	// The assignment and power scratches are worker-local because record
+	// checks power feasibility outside the shared mutex — the buffers are
+	// live concurrently across workers.
+	var asg assign.Scratch
+	var ps powerScratch
 	var local Stats
 	for b := range jobs {
-		if p.ctx != nil && p.ctx.Err() != nil {
-			continue // drain without scoring; evaluateB reports the error
-		}
-		for k := 0; k < b.count(); k++ {
-			parts := b.parts(k)
-			// Abort only strictly above the bound (bound+1): partitions
-			// tying the running best must complete so the sequence-number
-			// tie-break can pick the deterministic winner among equals.
-			var bound soc.Cycles
-			if !p.opt.NoEarlyAbort {
-				if cur := p.best.Load(); cur > 0 {
-					bound = soc.Cycles(cur) + 1
+		if p.ctx == nil || p.ctx.Err() == nil {
+			for k := 0; k < b.count(); k++ {
+				parts := b.parts(k)
+				// Abort only strictly above the bound (bound+1): partitions
+				// tying the running best must complete so the sequence-number
+				// tie-break can pick the deterministic winner among equals.
+				var bound soc.Cycles
+				if !p.opt.NoEarlyAbort {
+					if cur := p.best.Load(); cur > 0 {
+						bound = soc.Cycles(cur) + 1
+					}
 				}
+				a, completed := scoreOne(p.tables, &scratch, &asg, parts, bound, p.opt, &local)
+				if !completed {
+					continue
+				}
+				p.record(a.Time, parts, a.TAMOf, b.seq0+int64(k), &local, &ps)
 			}
-			a, completed := scoreOne(p.tables, &scratch, parts, bound, p.opt, &local)
-			if !completed {
-				continue
-			}
-			p.record(a.Time, parts, a.TAMOf, b.seq0+int64(k), &local)
+		}
+		// Nothing scored above outlives the batch (the winning partition
+		// is copied by partition.Canonical), so the slab can go straight
+		// back to the generator.
+		select {
+		case p.free <- b.flat:
+		default:
 		}
 	}
 	p.mu.Lock()
@@ -167,12 +200,13 @@ func (p *parEvaluator) worker(numTAMs int, jobs <-chan batch) {
 // Power-infeasible evaluations never reach the shared best, so the
 // potential-winner set stays evaluation-order independent and the
 // determinism argument above carries over unchanged.
-func (p *parEvaluator) record(t soc.Cycles, parts []int, tamOf []int, seq int64, local *Stats) {
+func (p *parEvaluator) record(t soc.Cycles, parts []int, tamOf []int, seq int64, local *Stats, ps *powerScratch) {
 	if cur := p.best.Load(); cur != 0 && soc.Cycles(cur) < t {
 		return
 	}
-	// Checked outside the lock: feasibility is partition-intrinsic.
-	if !p.pc.feasible(p.tables, parts, tamOf) {
+	// Checked outside the lock: feasibility is partition-intrinsic, and
+	// ps is the calling worker's own scratch.
+	if !p.pc.feasible(p.tables, parts, tamOf, ps) {
 		local.PowerInfeasible++
 		return
 	}

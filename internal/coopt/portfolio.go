@@ -175,10 +175,11 @@ func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options, 
 	if err != nil {
 		return Result{}, err
 	}
-	tables, err := TimeTables(s, width) // validates SOC and width up front
+	curves, err := curvesFor(s, width) // validates SOC and width up front
 	if err != nil {
 		return Result{}, err
 	}
+	tables := curves.Tables()
 	lb := portfolioLowerBound(tables, s, opt, width)
 
 	// Workers split: every racer but the partition flow is
@@ -216,6 +217,9 @@ func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options, 
 			} else {
 				runOpt := opt
 				runOpt.Strategy = b.strategy
+				// The racers share the memoized wrapper curves the tables
+				// above came from — result-neutral (see Options.curves).
+				runOpt.curves = curves
 				res, err = b.solve(ctx, s, width, runOpt, sink)
 			}
 			if err == nil {

@@ -3,7 +3,6 @@ package pack
 import (
 	"context"
 	"math"
-	"sort"
 
 	"soctam/internal/soc"
 )
@@ -41,8 +40,8 @@ func PackDiagonal(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
 // PackDiagonalContext is PackDiagonal with cancellation, mirroring
 // PackContext.
 func PackDiagonalContext(ctx context.Context, s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
-	return packWith(ctx, s, totalWidth, opt, func(shapes []coreShape, budget soc.Cycles, ceiling int) []*Schedule {
-		return []*Schedule{packOnceDiagonal(shapes, totalWidth, budget, ceiling)}
+	return packWith(ctx, s, totalWidth, opt, func(a *packArena, shapes []coreShape, budget soc.Cycles, ceiling int) bool {
+		return packOnceDiagonal(a, shapes, budget, ceiling)
 	})
 }
 
@@ -58,27 +57,16 @@ func PackDiagonalContext(ctx context.Context, s *soc.SOC, totalWidth int, opt Op
 // The skyline and power-timeline machinery is shared with packOnce:
 // under a ceiling every candidate start is pushed to the earliest
 // instant with enough power headroom, so no breaching position is ever
-// considered.
-func packOnceDiagonal(shapes []coreShape, totalWidth int, budget soc.Cycles, ceiling int) *Schedule {
-	seq := make([]int, len(shapes))
+// considered. The run writes only into the arena (zero allocations once
+// warm) and folds its schedule into the arena's best, reporting
+// improvement.
+func packOnceDiagonal(a *packArena, shapes []coreShape, budget soc.Cycles, ceiling int) bool {
+	a.beginAttempt(ceiling)
+	seq := a.seq
 	for i := range seq {
 		seq[i] = i
 	}
-	sort.SliceStable(seq, func(a, b int) bool {
-		sa, sb := &shapes[seq[a]], &shapes[seq[b]]
-		ka, kb := sa.preferredIndex(budget), sb.preferredIndex(budget)
-		da, db := diagonal(sa.widths[ka], sa.times[ka]), diagonal(sb.widths[kb], sb.times[kb])
-		if da != db {
-			return da > db
-		}
-		// Equal diagonals: the wider (shorter) rectangle first — it is
-		// the harder one to fit late.
-		return sa.widths[ka] > sb.widths[kb]
-	})
-
-	avail := make([]soc.Cycles, totalWidth)
-	sch := &Schedule{TotalWidth: totalWidth}
-	var prof []soc.PowerEvent // committed placements' power profile
+	sortSeqDiagonal(seq, shapes, budget)
 	for _, idx := range seq {
 		sh := &shapes[idx]
 		var fit, fallback Rect
@@ -87,8 +75,8 @@ func packOnceDiagonal(shapes []coreShape, totalWidth int, budget soc.Cycles, cei
 		for c := 0; c < len(sh.widths); c++ {
 			w, t := sh.widths[c], sh.times[c]
 			d := diagonal(w, t)
-			for at := 0; at+w <= totalWidth; at++ {
-				start, waste, end := measurePlacement(avail, prof, ceiling, sh.power, at, w, t)
+			for at := 0; at+w <= a.totalWidth; at++ {
+				start, waste, end := a.measure(sh.power, at, w, t)
 				r := Rect{Core: sh.core, Wire: at, Width: w, Start: start, End: end}
 				if end <= budget && betterDiagonal(waste, start, d, fitWaste, fit.Start, fitDiag) {
 					fit, fitWaste, fitDiag = r, waste, d
@@ -107,9 +95,31 @@ func packOnceDiagonal(shapes []coreShape, totalWidth int, budget soc.Cycles, cei
 			bestRect = fallback
 		}
 		bestRect.Power = sh.power
-		prof = commitPlacement(sch, avail, prof, ceiling, bestRect)
+		a.commit(bestRect)
 	}
-	return sch
+	return a.consider()
+}
+
+// sortSeqDiagonal stably sorts the placement order by decreasing
+// preferred-shape diagonal (wider first on ties) with an allocation-free
+// insertion sort, exactly as the sort.SliceStable it replaces.
+func sortSeqDiagonal(seq []int, shapes []coreShape, budget soc.Cycles) {
+	less := func(x, y int) bool {
+		sa, sb := &shapes[x], &shapes[y]
+		ka, kb := sa.preferredIndex(budget), sb.preferredIndex(budget)
+		da, db := diagonal(sa.widths[ka], sa.times[ka]), diagonal(sb.widths[kb], sb.times[kb])
+		if da != db {
+			return da > db
+		}
+		// Equal diagonals: the wider (shorter) rectangle first — it is
+		// the harder one to fit late.
+		return sa.widths[ka] > sb.widths[kb]
+	}
+	for i := 1; i < len(seq); i++ {
+		for j := i; j > 0 && less(seq[j], seq[j-1]); j-- {
+			seq[j], seq[j-1] = seq[j-1], seq[j]
+		}
+	}
 }
 
 // betterDiagonal reports whether a candidate placement (waste, start,

@@ -147,6 +147,13 @@ type Options struct {
 	// means unconstrained (and reproduces the power-oblivious packing
 	// exactly).
 	MaxPower int
+	// Curves optionally supplies precomputed wrapper curves for the SOC
+	// (wrapper.Curves over at least the packing's total width), so a
+	// caller solving the same SOC with several backends — the portfolio
+	// race in internal/coopt — shares one curve computation. A nil or
+	// mismatched set is ignored and the packer computes its own; results
+	// are bit-for-bit identical either way.
+	Curves *wrapper.CurveSet
 }
 
 // builtinBudgets spans tight (wide rectangles, little slack) to relaxed
@@ -186,7 +193,7 @@ func (o Options) effectiveCeiling(s *soc.SOC) int {
 // it is bounded only by the power-free terms (Schedule.Bound always
 // reflects the effective ceiling).
 func LowerBound(s *soc.SOC, totalWidth int) (soc.Cycles, error) {
-	cores, err := coreShapes(s, totalWidth)
+	cores, err := coreShapes(s, totalWidth, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -205,28 +212,38 @@ type coreShape struct {
 
 // coreShapes computes every core's packing input. Only Pareto widths
 // are offered: at any other width the wrapper uses fewer wires than the
-// rectangle would claim, wasting bin area for no time gain.
-func coreShapes(s *soc.SOC, totalWidth int) ([]coreShape, error) {
+// rectangle would claim, wasting bin area for no time gain. A non-nil
+// curve set covering the SOC and width supplies the wrapper staircases
+// as lookups; otherwise they are computed here (identical values either
+// way — the memoized curve is bit-for-bit the fresh one).
+func coreShapes(s *soc.SOC, totalWidth int, cs *wrapper.CurveSet) ([]coreShape, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	if totalWidth < 1 {
 		return nil, fmt.Errorf("pack: total TAM width %d < 1", totalWidth)
 	}
+	if cs != nil && (cs.NumCores() != len(s.Cores) || cs.MaxWidth() < totalWidth) {
+		cs = nil // mismatched precomputation: fall back to fresh curves
+	}
 	shapes := make([]coreShape, len(s.Cores))
 	for i := range s.Cores {
-		widths, err := wrapper.ParetoWidths(&s.Cores[i], totalWidth)
-		if err != nil {
-			return nil, fmt.Errorf("pack: core %d: %w", i+1, err)
+		var cv *wrapper.Curve
+		if cs != nil {
+			cv = cs.Core(i)
+		} else {
+			var err error
+			cv, err = wrapper.NewCurve(&s.Cores[i], totalWidth)
+			if err != nil {
+				return nil, fmt.Errorf("pack: core %d: %w", i+1, err)
+			}
 		}
-		table, err := wrapper.TimeTable(&s.Cores[i], totalWidth)
-		if err != nil {
-			return nil, fmt.Errorf("pack: core %d: %w", i+1, err)
-		}
+		widths := cv.ParetoUpTo(totalWidth)
 		sh := coreShape{core: i, power: s.Cores[i].Power, widths: widths, minArea: int64(1) << 62}
-		for _, w := range widths {
-			t := table[w-1]
-			sh.times = append(sh.times, t)
+		sh.times = make([]soc.Cycles, len(widths))
+		for k, w := range widths {
+			t := cv.Time(w)
+			sh.times[k] = t
 			if area := int64(w) * int64(t); area < sh.minArea {
 				sh.minArea = area
 			}
@@ -290,25 +307,32 @@ func Pack(s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
 // the hook the portfolio racer (internal/coopt) uses to stop a packing
 // backend that can no longer win.
 func PackContext(ctx context.Context, s *soc.SOC, totalWidth int, opt Options) (*Schedule, error) {
-	return packWith(ctx, s, totalWidth, opt, func(shapes []coreShape, budget soc.Cycles, ceiling int) []*Schedule {
-		out := make([]*Schedule, 0, 3)
-		for _, ord := range []order{byWidth, byTime, byArea} {
-			out = append(out, packOnce(shapes, totalWidth, budget, ord, ceiling))
+	return packWith(ctx, s, totalWidth, opt, func(a *packArena, shapes []coreShape, budget soc.Cycles, ceiling int) bool {
+		improved := false
+		for _, ord := range packOrders {
+			if packOnce(a, shapes, budget, ord, ceiling) {
+				improved = true
+			}
 		}
-		return out
+		return improved
 	})
 }
 
-// attemptFunc packs the budget-shaped rectangles once (or a few times in
-// different orders) and returns every schedule produced.
-type attemptFunc func(shapes []coreShape, budget soc.Cycles, ceiling int) []*Schedule
+// packOrders are the placement orders the budgeted best-fit packer
+// tries at every budget.
+var packOrders = [...]order{byWidth, byTime, byArea}
+
+// attemptFunc packs the budget-shaped rectangles once (or a few times
+// in different orders) into the arena, folding each schedule into the
+// arena's best; it reports whether any attempt improved on it.
+type attemptFunc func(a *packArena, shapes []coreShape, budget soc.Cycles, ceiling int) bool
 
 // packWith runs the shared packing pipeline — core shapes, effective
 // power ceiling, lower bound, budget sweep with iterative refinement —
 // around one placement heuristic. Both the budgeted-best-fit packer
 // (Pack) and the diagonal packer (PackDiagonal) are instances of it.
 func packWith(ctx context.Context, s *soc.SOC, totalWidth int, opt Options, attempt attemptFunc) (*Schedule, error) {
-	shapes, err := coreShapes(s, totalWidth)
+	shapes, err := coreShapes(s, totalWidth, opt.Curves)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +341,10 @@ func packWith(ctx context.Context, s *soc.SOC, totalWidth int, opt Options, atte
 		return nil, fmt.Errorf("pack: %w", err)
 	}
 	lb := lowerBound(shapes, totalWidth, ceiling)
-	var best *Schedule
+	// The arena carries every buffer the placement loops reuse across
+	// the whole budget sweep; only the winning schedule leaves it, as a
+	// fresh clone.
+	a := newPackArena(totalWidth, len(shapes))
 	// tried dedupes budgets: attempts are deterministic, so re-packing a
 	// budget the sweep or a previous refinement round already shaped can
 	// never improve and is pure waste (sub-lower-bound targets all clamp
@@ -331,14 +358,7 @@ func packWith(ctx context.Context, s *soc.SOC, totalWidth int, opt Options, atte
 			return false
 		}
 		tried[budget] = true
-		improved := false
-		for _, sch := range attempt(shapes, budget, ceiling) {
-			if best == nil || sch.Makespan < best.Makespan {
-				best = sch
-				improved = true
-			}
-		}
-		return improved
+		return attempt(a, shapes, budget, ceiling)
 	}
 	for _, mult := range opt.budgets() {
 		if err := ctx.Err(); err != nil {
@@ -355,7 +375,7 @@ func packWith(ctx context.Context, s *soc.SOC, totalWidth int, opt Options, atte
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if try(scaleCycles(best.Makespan, f)) {
+			if try(scaleCycles(a.best.Makespan, f)) {
 				improved = true
 			}
 		}
@@ -363,6 +383,7 @@ func packWith(ctx context.Context, s *soc.SOC, totalWidth int, opt Options, atte
 			break
 		}
 	}
+	best := a.take()
 	sort.Slice(best.Rects, func(i, j int) bool {
 		if best.Rects[i].Start != best.Rects[j].Start {
 			return best.Rects[i].Start < best.Rects[j].Start
@@ -416,40 +437,16 @@ const (
 // power headroom for the whole test, so no position that would breach
 // the ceiling is ever considered. With ceiling 0 the placement is
 // bit-for-bit the power-oblivious one.
-func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order, ceiling int) *Schedule {
-	seq := make([]int, len(shapes))
+//
+// The run writes only into the arena (zero allocations once warm) and
+// folds its schedule into the arena's best, reporting improvement.
+func packOnce(a *packArena, shapes []coreShape, budget soc.Cycles, ord order, ceiling int) bool {
+	a.beginAttempt(ceiling)
+	seq := a.seq
 	for i := range seq {
 		seq[i] = i
 	}
-	sort.SliceStable(seq, func(a, b int) bool {
-		sa, sb := &shapes[seq[a]], &shapes[seq[b]]
-		ka, kb := sa.preferredIndex(budget), sb.preferredIndex(budget)
-		switch ord {
-		case byTime:
-			// Longest test at preferred width first, wider first on ties.
-			if sa.times[ka] != sb.times[kb] {
-				return sa.times[ka] > sb.times[kb]
-			}
-			return sa.widths[ka] > sb.widths[kb]
-		case byArea:
-			if sa.minArea != sb.minArea {
-				return sa.minArea > sb.minArea
-			}
-			return sa.times[ka] > sb.times[kb]
-		}
-		// Widest preferred rectangle first, longer first on ties.
-		if sa.widths[ka] != sb.widths[kb] {
-			return sa.widths[ka] > sb.widths[kb]
-		}
-		return sa.times[ka] > sb.times[kb]
-	})
-
-	avail := make([]soc.Cycles, totalWidth)
-	sch := &Schedule{TotalWidth: totalWidth}
-	// prof is the committed placements' concurrent-power profile as a
-	// sorted event list, maintained incrementally so the inner placement
-	// loop never sorts or allocates.
-	var prof []soc.PowerEvent
+	sortSeq(seq, shapes, budget, ord)
 	for _, idx := range seq {
 		sh := &shapes[idx]
 		var fit Rect // narrowest in-budget placement
@@ -461,8 +458,8 @@ func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order, 
 			if fitWaste >= 0 && w > fit.Width {
 				break // a narrower shape already meets the budget
 			}
-			for at := 0; at+w <= totalWidth; at++ {
-				start, waste, end := measurePlacement(avail, prof, ceiling, sh.power, at, w, t)
+			for at := 0; at+w <= a.totalWidth; at++ {
+				start, waste, end := a.measure(sh.power, at, w, t)
 				if end <= budget {
 					if fitWaste < 0 || start < fit.Start ||
 						(start == fit.Start && waste < fitWaste) {
@@ -482,110 +479,47 @@ func packOnce(shapes []coreShape, totalWidth int, budget soc.Cycles, ord order, 
 			bestRect = fallback
 		}
 		bestRect.Power = sh.power
-		prof = commitPlacement(sch, avail, prof, ceiling, bestRect)
+		a.commit(bestRect)
 	}
-	return sch
+	return a.consider()
 }
 
-// measurePlacement evaluates one candidate position for a w-wires by
-// t-cycles rectangle starting at wire `at`: the earliest start the
-// skyline allows (pushed further under a power ceiling until the whole
-// test has headroom), the idle wire-cycle area the placement would
-// strand under itself, and the finish time. Shared by every placement
-// heuristic so the skyline and power semantics cannot diverge.
-func measurePlacement(avail []soc.Cycles, prof []soc.PowerEvent, ceiling, power, at, w int, t soc.Cycles) (start soc.Cycles, waste int64, end soc.Cycles) {
-	for x := at; x < at+w; x++ {
-		if avail[x] > start {
-			start = avail[x]
+// lessSeq is packOnce's placement-order comparator over core indices x
+// and y. Together with insertion sort (stable, like the sort.SliceStable
+// it replaces) the placement order is bit-for-bit the historical one:
+// a stable sort's output is unique for a given comparator.
+func lessSeq(shapes []coreShape, budget soc.Cycles, ord order, x, y int) bool {
+	sa, sb := &shapes[x], &shapes[y]
+	ka, kb := sa.preferredIndex(budget), sb.preferredIndex(budget)
+	switch ord {
+	case byTime:
+		// Longest test at preferred width first, wider first on ties.
+		if sa.times[ka] != sb.times[kb] {
+			return sa.times[ka] > sb.times[kb]
 		}
+		return sa.widths[ka] > sb.widths[kb]
+	case byArea:
+		if sa.minArea != sb.minArea {
+			return sa.minArea > sb.minArea
+		}
+		return sa.times[ka] > sb.times[kb]
 	}
-	if ceiling > 0 {
-		start = earliestPowerStart(prof, ceiling, power, start, t)
+	// Widest preferred rectangle first, longer first on ties.
+	if sa.widths[ka] != sb.widths[kb] {
+		return sa.widths[ka] > sb.widths[kb]
 	}
-	for x := at; x < at+w; x++ {
-		waste += int64(start - avail[x])
-	}
-	return start, waste, start + t
+	return sa.times[ka] > sb.times[kb]
 }
 
-// commitPlacement books a chosen rectangle into the schedule, the
-// skyline and (under a ceiling) the power profile, returning the
-// updated profile. Shared by every placement heuristic.
-func commitPlacement(sch *Schedule, avail []soc.Cycles, prof []soc.PowerEvent, ceiling int, r Rect) []soc.PowerEvent {
-	sch.Rects = append(sch.Rects, r)
-	if ceiling > 0 && r.Power > 0 && r.Duration() > 0 {
-		prof = insertEvent(prof, soc.PowerEvent{At: r.Start, Delta: r.Power})
-		prof = insertEvent(prof, soc.PowerEvent{At: r.End, Delta: -r.Power})
-	}
-	for x := r.Wire; x < r.Wire+r.Width; x++ {
-		avail[x] = r.End
-	}
-	if r.End > sch.Makespan {
-		sch.Makespan = r.End
-	}
-	return prof
-}
-
-// earliestPowerStart returns the earliest start >= from at which a test
-// drawing power units for dur cycles keeps the committed profile plus
-// itself within the ceiling. Only from itself and the committed end
-// times need checking: the window's overlap set (and hence its power
-// peak) can only shrink when the window's leading edge crosses an end
-// event. A feasible start always exists — after the last committed
-// rectangle ends the profile is zero, and Pack rejects single cores
-// above the ceiling up front. prof must be sorted (see insertEvent);
-// its end events are therefore visited in increasing time order, so the
-// first feasible candidate is the earliest.
-func earliestPowerStart(prof []soc.PowerEvent, ceiling, power int, from soc.Cycles, dur soc.Cycles) soc.Cycles {
-	if power == 0 || dur == 0 {
-		return from
-	}
-	if windowPeak(prof, from, from+dur)+power <= ceiling {
-		return from
-	}
-	for _, e := range prof {
-		if e.Delta >= 0 || e.At <= from {
-			continue
-		}
-		if windowPeak(prof, e.At, e.At+dur)+power <= ceiling {
-			return e.At
+// sortSeq stably sorts the placement order by lessSeq with an insertion
+// sort: the sequences are at most a few dozen cores, and unlike
+// sort.SliceStable this allocates nothing in the hot loop.
+func sortSeq(seq []int, shapes []coreShape, budget soc.Cycles, ord order) {
+	for i := 1; i < len(seq); i++ {
+		for j := i; j > 0 && lessSeq(shapes, budget, ord, seq[j], seq[j-1]); j-- {
+			seq[j], seq[j-1] = seq[j-1], seq[j]
 		}
 	}
-	return from // unreachable: the last end event always fits
-}
-
-// windowPeak returns the peak of the sorted event profile over the
-// half-open window [from, to): the profile level at from, then every
-// level change strictly inside the window.
-func windowPeak(prof []soc.PowerEvent, from, to soc.Cycles) int {
-	cur := 0
-	i := 0
-	for ; i < len(prof) && prof[i].At <= from; i++ {
-		cur += prof[i].Delta
-	}
-	peak := cur
-	for ; i < len(prof) && prof[i].At < to; i++ {
-		cur += prof[i].Delta
-		if cur > peak {
-			peak = cur
-		}
-	}
-	return peak
-}
-
-// insertEvent inserts e into the profile, keeping soc.SortPowerEvents
-// order (time ascending, downward steps first at equal times).
-func insertEvent(prof []soc.PowerEvent, e soc.PowerEvent) []soc.PowerEvent {
-	i := sort.Search(len(prof), func(k int) bool {
-		if prof[k].At != e.At {
-			return prof[k].At > e.At
-		}
-		return prof[k].Delta >= e.Delta
-	})
-	prof = append(prof, soc.PowerEvent{})
-	copy(prof[i+1:], prof[i:])
-	prof[i] = e
-	return prof
 }
 
 // Gantt renders the packing as an ASCII wire-band chart — one row per

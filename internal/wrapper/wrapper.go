@@ -81,10 +81,11 @@ func DesignWrapper(c *soc.Core, width int) (*Design, error) {
 		return nil, err
 	}
 	chains := sortedChainsDesc(c)
+	loads := make([]int, width)
 	bestK := 1
 	bestTime := soc.Cycles(-1)
 	for k := 1; k <= width; k++ {
-		si, so := pathsForK(c, chains, k)
+		si, so := pathsInto(c, chains, loads[:k])
 		t := TestTime(c.Patterns, si, so)
 		if bestTime < 0 || t < bestTime {
 			bestTime, bestK = t, k
@@ -104,9 +105,10 @@ func Time(c *soc.Core, width int) (soc.Cycles, error) {
 		return 0, err
 	}
 	chains := sortedChainsDesc(c)
+	loads := make([]int, width)
 	best := soc.Cycles(-1)
 	for k := 1; k <= width; k++ {
-		si, so := pathsForK(c, chains, k)
+		si, so := pathsInto(c, chains, loads[:k])
 		if t := TestTime(c.Patterns, si, so); best < 0 || t < best {
 			best = t
 		}
@@ -124,17 +126,23 @@ func TimeTable(c *soc.Core, maxWidth int) ([]soc.Cycles, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	chains := sortedChainsDesc(c)
 	table := make([]soc.Cycles, maxWidth)
+	fillTable(c, sortedChainsDesc(c), table, make([]int, maxWidth))
+	return table, nil
+}
+
+// fillTable computes table[k-1] = T(k) for k = 1..len(table), reusing
+// loads (len >= len(table)) as the balancing scratch so the whole
+// staircase costs two allocations instead of one per width.
+func fillTable(c *soc.Core, chainsDesc []int, table []soc.Cycles, loads []int) {
 	best := soc.Cycles(-1)
-	for k := 1; k <= maxWidth; k++ {
-		si, so := pathsForK(c, chains, k)
+	for k := 1; k <= len(table); k++ {
+		si, so := pathsInto(c, chainsDesc, loads[:k])
 		if t := TestTime(c.Patterns, si, so); best < 0 || t < best {
 			best = t
 		}
 		table[k-1] = best
 	}
-	return table, nil
 }
 
 // ParetoWidths returns the widths w in 1..maxWidth at which T(w) strictly
@@ -156,8 +164,14 @@ func ParetoWidths(c *soc.Core, maxWidth int) ([]int, error) {
 // sortedChainsDesc returns the core's internal scan chain lengths in
 // decreasing order.
 func sortedChainsDesc(c *soc.Core) []int {
-	chains := make([]int, len(c.ScanChains))
-	copy(chains, c.ScanChains)
+	return sortedChainsInto(c, nil)
+}
+
+// sortedChainsInto is sortedChainsDesc writing into buf's storage when
+// it is large enough — the reuse hook for curve construction over many
+// cores.
+func sortedChainsInto(c *soc.Core, buf []int) []int {
+	chains := append(buf[:0], c.ScanChains...)
 	sort.Sort(sort.Reverse(sort.IntSlice(chains)))
 	return chains
 }
@@ -166,7 +180,14 @@ func sortedChainsDesc(c *soc.Core) []int {
 // chains and water-fills the terminal cells, returning the resulting
 // longest scan-in and scan-out paths.
 func pathsForK(c *soc.Core, chainsDesc []int, k int) (si, so int) {
-	loads := balance(chainsDesc, k)
+	return pathsInto(c, chainsDesc, make([]int, k))
+}
+
+// pathsInto is pathsForK balancing onto the caller's loads buffer (its
+// length is the chain count k), so staircase construction can reuse one
+// buffer across every k.
+func pathsInto(c *soc.Core, chainsDesc []int, loads []int) (si, so int) {
+	balanceInto(chainsDesc, loads)
 	si = fillLevel(loads, c.InputCells())
 	so = fillLevel(loads, c.OutputCells())
 	return si, so
@@ -179,6 +200,17 @@ func pathsForK(c *soc.Core, chainsDesc []int, k int) (si, so int) {
 // classic 4/3-approximation of the optimal balance.
 func balance(chainsDesc []int, k int) []int {
 	loads := make([]int, k)
+	balanceInto(chainsDesc, loads)
+	return loads
+}
+
+// balanceInto runs the longest-processing-time balancing into loads,
+// zeroing it first; len(loads) is the wrapper chain count k.
+func balanceInto(chainsDesc []int, loads []int) {
+	for j := range loads {
+		loads[j] = 0
+	}
+	k := len(loads)
 	for _, l := range chainsDesc {
 		m := 0
 		for j := 1; j < k; j++ {
@@ -188,7 +220,6 @@ func balance(chainsDesc []int, k int) []int {
 		}
 		loads[m] += l
 	}
-	return loads
 }
 
 // fillLevel returns the longest path after optimally distributing q unit
