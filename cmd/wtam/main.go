@@ -14,6 +14,7 @@
 //	wtam -benchmark d695 -width 16 -strategy portfolio:partition,exhaustive
 //	wtam -benchmark d695 -width 32 -max-power 1800 -gantt
 //	wtam -benchmark p21241 -width 64 -workers 8
+//	wtam -benchmark p93791 -width 64 -exhaustive -deadline 100ms
 //
 // With -tams 0 (the default) the TAM count is optimized too (problem
 // P_NPAW); a fixed -tams solves P_PAW. -exhaustive switches from the
@@ -33,7 +34,11 @@
 // parallelizes partition evaluation (0 = all CPUs, 1 = the paper's
 // sequential order). -max-power imposes a peak-power ceiling on
 // concurrently running tests (0 uses the SOC's own maxpower attribute;
-// every backend honors it).
+// every backend honors it). -deadline bounds the solve's wall clock:
+// past the budget the solver returns its best incumbent so far — a
+// valid architecture tagged with its optimality gap — instead of an
+// error, and without a deadline results are bit-for-bit identical to
+// an unbounded run (see ARCHITECTURE.md §13).
 //
 // -serve <addr> runs wtam as the solver service instead of solving one
 // job: the escape hatch for environments that only ship the wtam
@@ -87,6 +92,7 @@ func run(args []string) error {
 		strategy   = flags.String("strategy", "partition", "co-optimization backend ("+strings.Join(soctam.StrategyNames(), ", ")+") or a portfolio subset spec like portfolio:partition,exhaustive")
 		workers    = flags.Int("workers", 0, "partition-evaluation goroutines (0 = all CPUs, 1 = paper's sequential order)")
 		maxPower   = flags.Int("max-power", 0, "peak-power ceiling on concurrent tests (0 = the SOC's own maxpower, if any)")
+		deadline   = flags.Duration("deadline", 0, "wall-clock budget for the solve; past it the best incumbent so far is returned with its optimality gap (0 = unbounded)")
 		progress   = flags.Bool("progress", false, "stream solver progress (backend lifecycle, incumbent improvements) to stderr while solving")
 		verbose    = flags.Bool("v", false, "print per-core wrapper usage on the chosen architecture")
 		gantt      = flags.Bool("gantt", false, "print the test schedule as a Gantt chart with utilization")
@@ -129,6 +135,7 @@ func run(args []string) error {
 		NodeLimit: *nodeLimit,
 		Workers:   *workers,
 		MaxPower:  *maxPower,
+		Budget:    *deadline,
 	}
 	if *useILP {
 		opt.FinalSolver = soctam.SolverILP
@@ -279,6 +286,7 @@ func printPartitionResult(s *soctam.SOC, res soctam.Result, parallelStats, exhau
 	fmt.Printf("testing time:     %d cycles\n", res.Time)
 	fmt.Printf("heuristic time:   %d cycles (before final optimization)\n", res.HeuristicTime)
 	fmt.Printf("proven optimal:   %v (for the chosen partition)\n", res.AssignmentOptimal)
+	printAnytime(res)
 	statsNote := ""
 	if !exhaustive && parallelStats {
 		// The completed/pruned split depends on parallel evaluation
@@ -344,6 +352,7 @@ func printPacking(s *soctam.SOC, res soctam.Result, verbose, gantt bool) error {
 		fmt.Printf("packing bound:    0 cycles\n")
 	}
 	fmt.Printf("wire-cycles:      %.1f%% busy\n", 100*sch.BusyFraction())
+	printAnytime(res)
 	printPower(res)
 	fmt.Printf("elapsed:          %s\n", res.Elapsed)
 	fmt.Println("\nrectangle schedule (wires × cycles, half-open ranges):")
@@ -370,6 +379,15 @@ func printPacking(s *soctam.SOC, res soctam.Result, verbose, gantt bool) error {
 		}
 	}
 	return nil
+}
+
+// printAnytime reports a deadline-bounded result: the returned
+// architecture is the best incumbent at the cutoff, bounded by its
+// optimality gap against the architecture-independent lower bound.
+func printAnytime(res soctam.Result) {
+	if res.Truncated {
+		fmt.Printf("deadline:         expired; best incumbent shown (at most %.1f%% above the lower bound)\n", 100*res.Gap)
+	}
 }
 
 // printPower reports the architecture's peak concurrent power against

@@ -12,6 +12,7 @@
 //	wtamd -addr :9090 -workers 4
 //	wtamd -addr 127.0.0.1:0                # free port, printed at startup
 //	wtamd -cache-size 65536 -solve-workers 2
+//	wtamd -escalate -escalate-budget 5s    # upgrade unproven cache entries
 //
 // The daemon prints one "wtamd: listening on http://<host:port>" line
 // once the listener is up (with -addr port 0 this is how scripts learn
@@ -19,9 +20,18 @@
 // gracefully: in-flight requests get a grace period before their solves
 // are cancelled.
 //
+// Deadline-bounded jobs (options.deadline_ms) return the best incumbent
+// at the cutoff with its optimality gap instead of an error; truncated
+// results are never cached. With -escalate, a background worker
+// re-solves unproven cached results exhaustively (each attempt bounded
+// by -escalate-budget) during idle capacity, upgrading entries it
+// proves optimal in place.
+//
 // Endpoints: POST /v1/solve (one job), POST /v1/batch (many jobs,
-// NDJSON lines in completion order), GET /v1/solvers (the registered
-// backends and their capability flags), GET /v1/healthz, GET /v1/stats.
+// NDJSON lines in completion order), POST /v1/stream (one job, progress
+// events and incumbent improvements as NDJSON while it solves), GET
+// /v1/solvers (the registered backends and their capability flags), GET
+// /v1/healthz, GET /v1/stats.
 package main
 
 import (
@@ -55,10 +65,12 @@ var errBadFlags = errors.New("bad flags")
 func run(ctx context.Context, args []string, out io.Writer) error {
 	flags := flag.NewFlagSet("wtamd", flag.ContinueOnError)
 	var (
-		addr         = flags.String("addr", "127.0.0.1:8080", "address to listen on (port 0 picks a free port, printed at startup)")
-		workers      = flags.Int("workers", 0, "concurrently running solves (0 = all CPUs); further jobs queue")
-		solveWorkers = flags.Int("solve-workers", 0, "partition-evaluation goroutines per solve (0 = CPUs/workers); results are identical at any setting")
-		cacheSize    = flags.Int("cache-size", 0, "result-cache capacity in entries (0 = 1024, negative disables caching)")
+		addr           = flags.String("addr", "127.0.0.1:8080", "address to listen on (port 0 picks a free port, printed at startup)")
+		workers        = flags.Int("workers", 0, "concurrently running solves (0 = all CPUs); further jobs queue")
+		solveWorkers   = flags.Int("solve-workers", 0, "partition-evaluation goroutines per solve (0 = CPUs/workers); results are identical at any setting")
+		cacheSize      = flags.Int("cache-size", 0, "result-cache capacity in entries (0 = 1024, negative disables caching)")
+		escalate       = flags.Bool("escalate", false, "re-solve unproven cached results exhaustively in the background, upgrading entries proven optimal")
+		escalateBudget = flags.Duration("escalate-budget", 0, "wall-clock budget per background escalation attempt (0 = 2s)")
 	)
 	if err := flags.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,9 +81,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if flags.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (wtamd takes only flags)", flags.Arg(0))
 	}
+	if *escalateBudget != 0 && !*escalate {
+		return fmt.Errorf("-escalate-budget requires -escalate")
+	}
 	return serve.Run(ctx, *addr, serve.Config{
-		Workers:      *workers,
-		SolveWorkers: *solveWorkers,
-		CacheSize:    *cacheSize,
+		Workers:        *workers,
+		SolveWorkers:   *solveWorkers,
+		CacheSize:      *cacheSize,
+		Escalate:       *escalate,
+		EscalateBudget: *escalateBudget,
 	}, out)
 }

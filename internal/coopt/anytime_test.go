@@ -1,0 +1,304 @@
+package coopt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soctam/internal/soc"
+	"soctam/internal/socdata"
+)
+
+// expired is a deadline that has always already passed: the harshest
+// possible budget. The anytime contract says even this returns the
+// first incumbent, never an error.
+var expired = time.Unix(1, 0)
+
+// checkAnytimeResult asserts the anytime contract on a deadline-bounded
+// result: a complete valid architecture, a non-negative gap, and the
+// truncation tag.
+func checkAnytimeResult(t *testing.T, s *soc.SOC, width int, strat Strategy, res Result) {
+	t.Helper()
+	if res.Time <= 0 {
+		t.Errorf("%v: truncated result has no testing time: %+v", strat, res)
+	}
+	if res.Gap < 0 {
+		t.Errorf("%v: negative gap %f", strat, res.Gap)
+	}
+	if !res.Truncated {
+		t.Errorf("%v: expired deadline did not mark the result truncated", strat)
+	}
+	if res.Proven {
+		t.Errorf("%v: truncated result claims proven optimality with gap %f", strat, res.Gap)
+	}
+	if res.Packing != nil {
+		if err := res.Packing.Validate(len(s.Cores)); err != nil {
+			t.Errorf("%v: truncated packing invalid: %v", strat, err)
+		}
+		return
+	}
+	total := 0
+	for _, w := range res.Partition {
+		total += w
+	}
+	if total != width {
+		t.Errorf("%v: partition %v sums to %d, want %d", strat, res.Partition, total, width)
+	}
+	if len(res.Assignment.TAMOf) != len(s.Cores) {
+		t.Errorf("%v: assignment covers %d cores, want %d", strat, len(res.Assignment.TAMOf), len(s.Cores))
+	}
+}
+
+// The tentpole contract: with a deadline that expired before the solve
+// even began, every backend still returns a complete valid architecture
+// tagged with its optimality gap — never an error. Workers 1 and the
+// parallel pool both hold it (their deadline polls live in different
+// places).
+func TestExpiredDeadlineReturnsIncumbent(t *testing.T) {
+	s := socdata.D695()
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"partition-seq", Options{Strategy: StrategyPartition, Workers: 1}},
+		{"partition-par", Options{Strategy: StrategyPartition, Workers: 4}},
+		{"exhaustive", Options{Strategy: StrategyExhaustive}},
+		{"packing", Options{Strategy: StrategyPacking}},
+		{"diagonal", Options{Strategy: StrategyDiagonal}},
+		{"portfolio", Options{Strategy: StrategyPortfolio}},
+	} {
+		opt := tc.opt
+		opt.Deadline = expired
+		res, err := Solve(s, 32, opt)
+		if err != nil {
+			t.Fatalf("%s: deadline-bounded solve failed: %v", tc.name, err)
+		}
+		checkAnytimeResult(t, s, 32, opt.Strategy, res)
+	}
+}
+
+// The legacy entry points thread deadlines too.
+func TestExpiredDeadlineLegacyEntryPoints(t *testing.T) {
+	s := socdata.D695()
+	opt := Options{Workers: 1, Deadline: expired}
+	for _, tc := range []struct {
+		name  string
+		solve func() (Result, error)
+	}{
+		{"CoOptimize", func() (Result, error) { return CoOptimize(s, 32, opt) }},
+		{"PartitionEvaluate", func() (Result, error) { return PartitionEvaluate(s, 32, 3, opt) }},
+		{"Exhaustive", func() (Result, error) { return Exhaustive(s, 16, 2, opt) }},
+		{"ExhaustiveRange", func() (Result, error) {
+			o := opt
+			o.MaxTAMs = 3
+			return ExhaustiveRange(s, 16, o)
+		}},
+	} {
+		res, err := tc.solve()
+		if err != nil {
+			t.Fatalf("%s: deadline-bounded solve failed: %v", tc.name, err)
+		}
+		if res.Time <= 0 || res.Gap < 0 {
+			t.Errorf("%s: bad anytime result time=%d gap=%f", tc.name, res.Time, res.Gap)
+		}
+	}
+}
+
+// A deadline far in the future must never fire: the result is
+// bit-for-bit the unbounded run's (the no-deadline determinism
+// guarantee, exercised through the deadline-polling code paths).
+func TestGenerousDeadlineMatchesUnbounded(t *testing.T) {
+	s := socdata.D695()
+	for _, strat := range []Strategy{StrategyPartition, StrategyExhaustive, StrategyPacking, StrategyDiagonal} {
+		width := 32
+		if strat == StrategyExhaustive {
+			width = 16
+		}
+		base, err := Solve(s, width, Options{Strategy: strat, Workers: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		bounded, err := Solve(s, width, Options{Strategy: strat, Workers: 1, Deadline: time.Now().Add(time.Hour)})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if bounded.Truncated {
+			t.Errorf("%v: generous deadline marked the run truncated", strat)
+		}
+		if base.Time != bounded.Time || base.NumTAMs != bounded.NumTAMs {
+			t.Errorf("%v: deadline-polled run differs: %d cycles / %d TAMs vs %d / %d",
+				strat, bounded.Time, bounded.NumTAMs, base.Time, base.NumTAMs)
+		}
+		if base.Gap != bounded.Gap || base.Proven != bounded.Proven {
+			t.Errorf("%v: gap/proven differ: %f/%v vs %f/%v",
+				strat, bounded.Gap, bounded.Proven, base.Gap, base.Proven)
+		}
+	}
+}
+
+// Budget is the relative spelling of Deadline: it must collapse into
+// the absolute form exactly once, keeping the earlier of the two.
+func TestResolveDeadline(t *testing.T) {
+	r := Options{Budget: time.Hour}.resolveDeadline()
+	if r.Budget != 0 || r.Deadline.IsZero() {
+		t.Errorf("budget did not collapse into a deadline: %+v", r)
+	}
+	if d := time.Until(r.Deadline); d < 59*time.Minute || d > 61*time.Minute {
+		t.Errorf("deadline landed %s out, want ~1h", d)
+	}
+	early := time.Now().Add(time.Minute)
+	r = Options{Budget: time.Hour, Deadline: early}.resolveDeadline()
+	if !r.Deadline.Equal(early) {
+		t.Errorf("earlier absolute deadline lost to the budget: %v", r.Deadline)
+	}
+	r = Options{Budget: time.Minute, Deadline: time.Now().Add(time.Hour)}.resolveDeadline()
+	if d := time.Until(r.Deadline); d > 2*time.Minute {
+		t.Errorf("earlier budget lost to the absolute deadline: %s out", d)
+	}
+	if r2 := r.resolveDeadline(); !r2.Deadline.Equal(r.Deadline) || r2.Budget != 0 {
+		t.Error("resolveDeadline is not idempotent")
+	}
+	if r := (Options{}).resolveDeadline(); !r.Deadline.IsZero() {
+		t.Errorf("no budget, no deadline resolved to %v", r.Deadline)
+	}
+}
+
+// An exhaustive run that completes is proven optimal even when its gap
+// against the architecture-independent lower bound is positive.
+func TestExhaustiveProvenWithoutDeadline(t *testing.T) {
+	res, err := Solve(socdata.D695(), 12, Options{Strategy: StrategyExhaustive, MaxTAMs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("unbounded exhaustive run marked truncated")
+	}
+	if !res.Proven {
+		t.Errorf("completed exhaustive run not proven (gap %f)", res.Gap)
+	}
+}
+
+// Progress framing under truncation: every backend still emits exactly
+// one terminal event, it comes after the backend's last improvement,
+// and a truncation terminates with "done" (the run succeeded — it has
+// an answer), never "cancelled".
+func TestProgressFramingUnderDeadline(t *testing.T) {
+	s := socdata.D695()
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"partition-seq", Options{Strategy: StrategyPartition, Workers: 1}},
+		{"partition-par", Options{Strategy: StrategyPartition, Workers: 4}},
+		{"exhaustive", Options{Strategy: StrategyExhaustive}},
+		{"packing", Options{Strategy: StrategyPacking}},
+		{"diagonal", Options{Strategy: StrategyDiagonal}},
+		{"portfolio", Options{Strategy: StrategyPortfolio}},
+	} {
+		var events []ProgressEvent
+		opt := tc.opt
+		opt.Deadline = expired
+		// The sink serializes delivery, so a plain append is safe.
+		opt.Progress = func(ev ProgressEvent) { events = append(events, ev) }
+		res, err := Solve(s, 32, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		terminal := map[string]int{}
+		lastImproved := map[string]int{}
+		terminalAt := map[string]int{}
+		for i, ev := range events {
+			switch ev.Kind {
+			case ProgressBackendDone, ProgressBackendCancelled:
+				terminal[ev.Backend]++
+				terminalAt[ev.Backend] = i
+			case ProgressImproved:
+				lastImproved[ev.Backend] = i
+			}
+		}
+		if len(terminal) == 0 {
+			t.Fatalf("%s: no terminal events in %d events", tc.name, len(events))
+		}
+		for backend, n := range terminal {
+			if n != 1 {
+				t.Errorf("%s: backend %s got %d terminal events, want exactly 1", tc.name, backend, n)
+			}
+			if li, ok := lastImproved[backend]; ok && li > terminalAt[backend] {
+				t.Errorf("%s: backend %s improved at event %d after its terminal at %d",
+					tc.name, backend, li, terminalAt[backend])
+			}
+		}
+		if tc.opt.Strategy != StrategyPortfolio {
+			// A single engine truncating is a success: its one terminal
+			// event must be "done" carrying the returned time. (Portfolio
+			// racers can legitimately be cancelled by the incumbent bound.)
+			name := tc.opt.Strategy.String()
+			found := false
+			for _, ev := range events {
+				if ev.Backend == name && ev.Kind == ProgressBackendDone {
+					found = true
+					if ev.Err != "" {
+						t.Errorf("%s: done event carries error %q", tc.name, ev.Err)
+					}
+					if ev.Time != res.Time {
+						t.Errorf("%s: done event time %d != result time %d", tc.name, ev.Time, res.Time)
+					}
+				}
+				if ev.Kind == ProgressBackendCancelled {
+					t.Errorf("%s: truncated single-engine run emitted cancelled", tc.name)
+				}
+			}
+			if !found {
+				t.Errorf("%s: no done event for backend %s", tc.name, name)
+			}
+		}
+	}
+}
+
+// FuzzParseSpec hammers the strategy-spec parser with arbitrary
+// spellings: it must never panic, and every accepted spec must have a
+// canonical form that re-parses to the same (strategy, subset) pair,
+// insensitive to case and surrounding whitespace.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"partition", "packing", "diagonal", "exhaustive", "portfolio",
+		"Portfolio", " PARTITION ", "portfolio:partition,exhaustive",
+		"portfolio: partition , diagonal ", "portfolio:diagonal,diagonal",
+		"portfolio:", "portfolio:,", "", ":", "portfolio:nope",
+		"portfolio:partition,packing,diagonal,exhaustive",
+		"PORTFOLIO:Exhaustive", "partition,packing", "portfolio::partition",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		strat, subset, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if subset != "" && strat != StrategyPortfolio {
+			t.Fatalf("ParseSpec(%q) returned subset %q for strategy %v", spec, subset, strat)
+		}
+		// The canonical spelling must be a fixed point.
+		canon := strat.String()
+		if subset != "" {
+			canon = "portfolio:" + subset
+		}
+		s2, sub2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical spelling %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if s2 != strat || sub2 != subset {
+			t.Fatalf("canonical %q re-parsed to (%v,%q), want (%v,%q)", canon, s2, sub2, strat, subset)
+		}
+		// Case and surrounding whitespace are presentation, not meaning.
+		for _, variant := range []string{strings.ToUpper(spec), " " + spec + "\t"} {
+			s3, sub3, err := ParseSpec(variant)
+			if err != nil {
+				t.Fatalf("variant %q of accepted %q rejected: %v", variant, spec, err)
+			}
+			if s3 != strat || sub3 != subset {
+				t.Fatalf("variant %q parsed to (%v,%q), want (%v,%q)", variant, s3, sub3, strat, subset)
+			}
+		}
+	})
+}

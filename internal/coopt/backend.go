@@ -72,7 +72,7 @@ func (e *engine) Info() BackendInfo { return e.info }
 // Solve implements Backend, with the same progress framing SolveContext
 // delivers: start, improvements, then exactly one done or cancelled.
 func (e *engine) Solve(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
-	return runFramed(ctx, e, s, width, opt, newProgressSink(opt.Progress))
+	return runFramed(ctx, e, s, width, opt.resolveDeadline(), newProgressSink(opt.Progress))
 }
 
 // registry holds the registered engines in registration order — the

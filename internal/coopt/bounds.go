@@ -51,6 +51,42 @@ func lowerBoundWithCeiling(tables [][]soc.Cycles, s *soc.SOC, width, ceiling int
 	return lb
 }
 
+// lowerBoundPC is lowerBoundWithCeiling with the energy term drawn
+// from an already-built powerContext instead of the SOC — the form the
+// result-assembly paths (finishResult, the exhaustive baseline) need,
+// where the tables and power context are in scope but the SOC is not.
+// For the same SOC, width and effective ceiling it returns exactly
+// lowerBoundWithCeiling's value: pc snapshots the same core powers and
+// the same resolved ceiling.
+func lowerBoundPC(tables [][]soc.Cycles, pc *powerContext, width int) soc.Cycles {
+	lb := lowerBoundFromTables(tables, width)
+	if pc.constrained() {
+		var energy int64
+		for i, table := range tables {
+			energy += int64(pc.powers[i]) * int64(table[width-1])
+		}
+		if pb := soc.Cycles((energy + int64(pc.ceiling) - 1) / int64(pc.ceiling)); pb > lb {
+			lb = pb
+		}
+	}
+	return lb
+}
+
+// gapOf is the relative optimality gap Result.Gap reports: how far a
+// testing time sits above the lower bound, as a fraction of the bound.
+// Attaining (or beating — impossible for a correct bound, but float
+// hygiene costs nothing) the bound is gap 0; a degenerate zero bound is
+// floored at one cycle so the division is always defined.
+func gapOf(t, lb soc.Cycles) float64 {
+	if t <= lb {
+		return 0
+	}
+	if lb < 1 {
+		lb = 1
+	}
+	return float64(t-lb) / float64(lb)
+}
+
 func lowerBoundFromTables(tables [][]soc.Cycles, width int) soc.Cycles {
 	var bottleneck soc.Cycles
 	var volume int64

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"soctam/internal/socdata"
 )
@@ -63,6 +64,13 @@ func TestOptionsNormalized(t *testing.T) {
 	// sides' Progress are nil after normalization).
 	if !reflect.DeepEqual(n, n.Normalized()) {
 		t.Error("Normalized is not idempotent")
+	}
+	// A deadline bounds how long a run may take, never what a completed
+	// run computes: both forms must vanish so cache keys derived from
+	// the normalized form stay deadline-independent.
+	dl := Options{Deadline: time.Now(), Budget: time.Second}.Normalized()
+	if !dl.Deadline.IsZero() || dl.Budget != 0 {
+		t.Errorf("deadline/budget survived normalization: %+v", dl)
 	}
 }
 

@@ -174,6 +174,23 @@ type Options struct {
 	// schedule would breach the ceiling; the packing backend never
 	// places a rectangle into a breaching position.
 	MaxPower int
+	// Deadline, when nonzero, makes the run anytime: once a backend
+	// holds a first incumbent it stops at the next poll after the
+	// instant passes and returns that incumbent — a valid schedule
+	// tagged with Result.Truncated and its optimality gap (Result.Gap)
+	// — instead of an error. Before a first incumbent exists the
+	// deadline never fires, so a feasible run always returns an answer.
+	// This is deliberately not a context deadline: cancelling
+	// SolveContext's ctx abandons the run and returns ctx's error,
+	// while Deadline keeps the best answer found. A zero Deadline never
+	// reads the clock, so no-deadline runs stay bit-for-bit identical.
+	// Normalized clears it — deadlines bound how long the work may
+	// take, never what the completed work computes.
+	Deadline time.Time
+	// Budget is the relative form of Deadline: > 0 behaves exactly like
+	// Deadline = now + Budget captured when the solve starts (the
+	// earlier instant wins when both are set). Normalized clears it.
+	Budget time.Duration
 
 	// curves carries the SOC's memoized wrapper curves from the portfolio
 	// combinator into the backends it races, so one Design_wrapper sweep
@@ -181,6 +198,22 @@ type Options struct {
 	// nil recompute identical curves themselves, so results never depend
 	// on it and Normalized clears it.
 	curves *wrapper.CurveSet
+}
+
+// resolveDeadline collapses Budget (a relative duration) into Deadline
+// (an absolute instant), keeping the earlier of the two, and zeroes
+// Budget. Every public entry point resolves once on the way in, so the
+// engines below only ever consult Deadline; resolving an already
+// resolved Options is a no-op. The clock is read only when a budget is
+// actually set — no-deadline runs never touch time.Now here.
+func (o Options) resolveDeadline() Options {
+	if o.Budget > 0 {
+		if d := time.Now().Add(o.Budget); o.Deadline.IsZero() || d.Before(o.Deadline) {
+			o.Deadline = d
+		}
+	}
+	o.Budget = 0
+	return o
 }
 
 func (o Options) maxTAMs() int {
@@ -217,14 +250,22 @@ func (o Options) effectiveCeiling(s *soc.SOC) int {
 // default" sentinels collapse onto their defaults, and the Portfolio
 // subset collapses onto its canonical spelling — names folded, ordered
 // by registration rank, the default race spelled out, and the field
-// cleared entirely for non-portfolio strategies. The serving layer
-// (internal/serve) keys its cache on this form so requests differing
-// only in parallelism, observation or subset spelling share one entry,
-// while requests differing in strategy or subset never do.
+// cleared entirely for non-portfolio strategies. Deadline and Budget
+// are cleared too: a deadline bounds how long a run may take, never
+// what a completed run computes, so cache keys must stay
+// deadline-independent — a result produced under any deadline answers
+// the same question. (The serving layer separately refuses to cache
+// Truncated results, so a deadline-bounded incumbent can never poison
+// the shared entry.) The serving layer (internal/serve) keys its cache
+// on this form so requests differing only in parallelism, observation,
+// deadline or subset spelling share one entry, while requests
+// differing in strategy or subset never do.
 func (o Options) Normalized() Options {
 	o.MaxTAMs = o.maxTAMs()
 	o.Workers = 0
 	o.Progress = nil
+	o.Deadline = time.Time{}
+	o.Budget = 0
 	if o.NodeLimit < 0 {
 		o.NodeLimit = 0
 	}
@@ -327,6 +368,24 @@ type Result struct {
 	// PeakPower is the peak concurrent test power of the returned
 	// architecture's schedule (0 when the SOC has no power data).
 	PeakPower int
+	// Gap is the relative optimality gap of Time against the
+	// architecture-independent lower bound for this SOC, width and
+	// effective power ceiling (see LowerBound): (Time - bound) / bound,
+	// 0 when Time attains the bound. Every result carries it, truncated
+	// or not — the bound is deterministic, so no-deadline results are
+	// unchanged by the annotation.
+	Gap float64
+	// Truncated reports that the run's deadline (Options.Deadline /
+	// Options.Budget) fired mid-search: this result is the best
+	// incumbent held at that point, not the run's natural end. Always
+	// false when no deadline was set.
+	Truncated bool
+	// Proven reports that Time is the proven-optimal SOC testing time
+	// for this width: it attains the architecture-independent lower
+	// bound (Gap == 0), or the exhaustive baseline ran to completion
+	// with every exact solve proven. The serving layer's escalation
+	// worker upgrades cached non-proven entries toward Proven ones.
+	Proven bool
 	// Stats aggregates partition-evaluation counters.
 	Stats Stats
 	// Portfolio holds per-backend attribution when the result came from
@@ -382,10 +441,11 @@ type evaluator struct {
 	ctx    context.Context // nil = never cancelled
 	sink   *progressSink   // nil = no observer
 
-	haveBest bool       // a completed evaluation has been recorded
-	best     soc.Cycles // running best testing time (valid when haveBest)
-	bestPart []int
-	stats    Stats
+	haveBest  bool       // a completed evaluation has been recorded
+	best      soc.Cycles // running best testing time (valid when haveBest)
+	bestPart  []int
+	truncated bool // the deadline fired and stopped the enumeration
+	stats     Stats
 
 	scratch assign.Instance
 	asg     assign.Scratch
@@ -468,10 +528,22 @@ func scoreOne(tables [][]soc.Cycles, scratch *assign.Instance, asg *assign.Scrat
 
 // evaluateOne scores a single width partition with Core_assign under the
 // running bound; it returns false to stop the enumeration when the
-// evaluator's context has been cancelled.
+// evaluator's context has been cancelled or its deadline has passed
+// with an incumbent in hand. Both polls share the cancelCheckMask
+// cadence, so a deadline run enumerates exactly like a cancellable one
+// until the instant it truncates — and a run with neither never reads
+// the clock.
 func (e *evaluator) evaluateOne(parts []int) bool {
-	if e.ctx != nil && e.stats.Enumerated&cancelCheckMask == 0 && e.ctx.Err() != nil {
-		return false
+	if e.stats.Enumerated&cancelCheckMask == 0 {
+		if e.ctx != nil && e.ctx.Err() != nil {
+			return false
+		}
+		// Only an existing incumbent may truncate: before one exists the
+		// run must keep searching, so a feasible solve always answers.
+		if e.haveBest && !e.opt.Deadline.IsZero() && time.Now().After(e.opt.Deadline) {
+			e.truncated = true
+			return false
+		}
 	}
 	bound := e.best
 	if e.opt.NoEarlyAbort {
@@ -556,13 +628,16 @@ func (e *evaluator) evaluateB(width, numTAMs int) error {
 // finish runs the heuristic once more on the winning partition (for the
 // assignment witness) and then the exact final step, assembling Result.
 func (e *evaluator) finish(width int, started time.Time) (Result, error) {
-	return finishResult(e.tables, e.opt, e.pc, e.best, e.bestPart, e.stats, width, started)
+	return finishResult(e.tables, e.opt, e.pc, e.best, e.bestPart, e.stats, width, started, e.truncated)
 }
 
 // finishResult replays the heuristic on the winning partition (for the
 // assignment witness) and runs the exact final step, assembling Result.
-// It is shared by the sequential and parallel evaluation paths.
-func finishResult(tables [][]soc.Cycles, opt Options, pc *powerContext, best soc.Cycles, bestPart []int, stats Stats, width int, started time.Time) (Result, error) {
+// It is shared by the sequential and parallel evaluation paths. A
+// truncated run skips the exact final step — the deadline has already
+// passed, and the step can add unbounded branch-and-bound time — and
+// reports the heuristic incumbent as is.
+func finishResult(tables [][]soc.Cycles, opt Options, pc *powerContext, best soc.Cycles, bestPart []int, stats Stats, width int, started time.Time, truncated bool) (Result, error) {
 	if bestPart == nil {
 		return Result{}, fmt.Errorf("coopt: no feasible partition found for width %d", width)
 	}
@@ -583,8 +658,9 @@ func finishResult(tables [][]soc.Cycles, opt Options, pc *powerContext, best soc
 		Time:          heur.Time,
 		Stats:         stats,
 		MaxPower:      pc.maxPower(),
+		Truncated:     truncated,
 	}
-	if !opt.SkipFinal {
+	if !opt.SkipFinal && !truncated {
 		final, optimal, err := solveExact(inst, opt)
 		if err != nil {
 			return Result{}, err
@@ -600,6 +676,8 @@ func finishResult(tables [][]soc.Cycles, opt Options, pc *powerContext, best soc
 		}
 	}
 	res.PeakPower = pc.peak(tables, bestPart, res.Assignment.TAMOf, nil)
+	res.Gap = gapOf(res.Time, lowerBoundPC(tables, pc, width))
+	res.Proven = res.Gap == 0
 	res.Elapsed = time.Since(started)
 	return res, nil
 }
@@ -630,7 +708,14 @@ func Solve(s *soc.SOC, width int, opt Options) (Result, error) {
 // that completes — it is the seam the serving layer (internal/serve)
 // uses to abandon in-flight solves on shutdown, and what the portfolio
 // combinator builds its consequence-free backend cancellation on.
+//
+// Options.Deadline/Budget are the anytime counterpart: instead of
+// abandoning the run, a deadline makes every backend return its best
+// incumbent, tagged Truncated with its optimality gap, once the
+// instant passes — never an error, provided a first incumbent exists.
+// See ARCHITECTURE.md §13.
 func SolveContext(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
+	opt = opt.resolveDeadline()
 	sink := newProgressSink(opt.Progress)
 	if opt.Strategy == StrategyPortfolio {
 		return solvePortfolio(ctx, s, width, opt, sink)
@@ -666,6 +751,7 @@ func runFramed(ctx context.Context, e *engine, s *soc.SOC, width int, opt Option
 // disabled). The returned Stats are the basis of the paper's Table 1.
 func PartitionEvaluate(s *soc.SOC, width, numTAMs int, opt Options) (Result, error) {
 	started := time.Now()
+	opt = opt.resolveDeadline()
 	tables, err := TimeTables(s, width)
 	if err != nil {
 		return Result{}, err
@@ -704,7 +790,7 @@ func CoOptimize(s *soc.SOC, width int, opt Options) (Result, error) {
 // partition backend that can no longer win; cancellation never alters
 // the result of a run that completes.
 func coOptimize(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
-	return coOptimizeSink(ctx, s, width, opt, newProgressSink(opt.Progress))
+	return coOptimizeSink(ctx, s, width, opt.resolveDeadline(), newProgressSink(opt.Progress))
 }
 
 // coOptimizeSink is coOptimize delivering progress into an existing
@@ -736,7 +822,7 @@ func coOptimizeTables(ctx context.Context, s *soc.SOC, tables [][]soc.Cycles, wi
 		p := newParEvaluator(tables, opt, pc)
 		p.ctx = ctx
 		p.sink = sink
-		for b := 1; b <= maxB; b++ {
+		for b := 1; b <= maxB && !p.truncated; b++ {
 			if err := p.evaluateB(width, b); err != nil {
 				return Result{}, err
 			}
@@ -744,7 +830,7 @@ func coOptimizeTables(ctx context.Context, s *soc.SOC, tables [][]soc.Cycles, wi
 		return p.finish(width, started)
 	}
 	e := &evaluator{tables: tables, opt: opt, pc: pc, ctx: ctx, sink: sink}
-	for b := 1; b <= maxB; b++ {
+	for b := 1; b <= maxB && !e.truncated; b++ {
 		if err := e.evaluateB(width, b); err != nil {
 			return Result{}, err
 		}
@@ -759,6 +845,7 @@ func coOptimizeTables(ctx context.Context, s *soc.SOC, tables [][]soc.Cycles, wi
 // its proven-optimal assignment are returned.
 func Exhaustive(s *soc.SOC, width, numTAMs int, opt Options) (Result, error) {
 	started := time.Now()
+	opt = opt.resolveDeadline()
 	tables, err := TimeTables(s, width)
 	if err != nil {
 		return Result{}, err
@@ -776,7 +863,7 @@ func Exhaustive(s *soc.SOC, width, numTAMs int, opt Options) (Result, error) {
 
 // ExhaustiveRange runs the [8] baseline over B = 1..MaxTAMs.
 func ExhaustiveRange(s *soc.SOC, width int, opt Options) (Result, error) {
-	return solveExhaustive(nil, s, width, opt, newProgressSink(opt.Progress))
+	return solveExhaustive(nil, s, width, opt.resolveDeadline(), newProgressSink(opt.Progress))
 }
 
 // solveExhaustive is ExhaustiveRange as a registered engine: the [8]
@@ -799,7 +886,7 @@ func solveExhaustive(ctx context.Context, s *soc.SOC, width int, opt Options, si
 	if maxB > width {
 		maxB = width
 	}
-	for b := 1; b <= maxB; b++ {
+	for b := 1; b <= maxB && !e.truncated; b++ {
 		if err := e.run(width, b); err != nil {
 			return Result{}, err
 		}
@@ -818,6 +905,7 @@ type exhaustiveState struct {
 	bestPart        []int
 	bestAssign      assign.Assignment
 	allOptimal      bool
+	truncated       bool
 	evaluated       int
 	powerInfeasible int
 	started         bool
@@ -832,6 +920,12 @@ func (e *exhaustiveState) run(width, numTAMs int) error {
 	partition.Enumerate(width, numTAMs, func(parts []int) bool {
 		if e.ctx != nil && e.ctx.Err() != nil {
 			innerErr = e.ctx.Err()
+			return false
+		}
+		// Deadline poll per partition (each costs one exact solve, so
+		// the poll is cheap); only an existing incumbent may truncate.
+		if e.bestPart != nil && !e.opt.Deadline.IsZero() && time.Now().After(e.opt.Deadline) {
+			e.truncated = true
 			return false
 		}
 		e.evaluated++
@@ -872,6 +966,7 @@ func (e *exhaustiveState) result(width int, started time.Time) (Result, error) {
 	if e.bestPart == nil {
 		return Result{}, fmt.Errorf("coopt: exhaustive search found no feasible partition for width %d", width)
 	}
+	gap := gapOf(e.best, lowerBoundPC(e.tables, e.pc, width))
 	return Result{
 		TotalWidth:        width,
 		Strategy:          StrategyExhaustive,
@@ -883,7 +978,12 @@ func (e *exhaustiveState) result(width int, started time.Time) (Result, error) {
 		AssignmentOptimal: e.allOptimal,
 		MaxPower:          e.pc.maxPower(),
 		PeakPower:         e.pc.peak(e.tables, e.bestPart, e.bestAssign.TAMOf, nil),
-		Stats:             Stats{Enumerated: e.evaluated, Completed: e.evaluated, PowerInfeasible: e.powerInfeasible},
-		Elapsed:           time.Since(started),
+		Gap:               gap,
+		Truncated:         e.truncated,
+		// A completed exhaustive run with every exact solve proven is
+		// the optimum by construction even when the bound is not tight.
+		Proven:  gap == 0 || (e.allOptimal && !e.truncated),
+		Stats:   Stats{Enumerated: e.evaluated, Completed: e.evaluated, PowerInfeasible: e.powerInfeasible},
+		Elapsed: time.Since(started),
 	}, nil
 }

@@ -15,7 +15,7 @@ import (
 // report — the schedule itself (Result.Packing) is the architecture.
 func solvePacking(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
 	started := time.Now()
-	sch, err := pack.PackContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower, Curves: opt.curves})
+	sch, err := pack.PackContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower, Curves: opt.curves, Deadline: opt.Deadline})
 	if err != nil {
 		return Result{}, err
 	}
@@ -26,15 +26,20 @@ func solvePacking(ctx context.Context, s *soc.SOC, width int, opt Options) (Resu
 // (pack.PackDiagonal); the Result has the same shape as solvePacking's.
 func solveDiagonal(ctx context.Context, s *soc.SOC, width int, opt Options) (Result, error) {
 	started := time.Now()
-	sch, err := pack.PackDiagonalContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower, Curves: opt.curves})
+	sch, err := pack.PackDiagonalContext(ctx, s, width, pack.Options{MaxPower: opt.MaxPower, Curves: opt.curves, Deadline: opt.Deadline})
 	if err != nil {
 		return Result{}, err
 	}
 	return packingResult(StrategyDiagonal, sch, width, started), nil
 }
 
-// packingResult wraps a packed schedule as a Result.
+// packingResult wraps a packed schedule as a Result. The gap is
+// measured against the schedule's own packing bound — value-identical
+// to the partition flow's architecture-independent bound (area vs
+// bottleneck vs energy over the same tables and ceiling), so gaps are
+// comparable across backends.
 func packingResult(strategy Strategy, sch *pack.Schedule, width int, started time.Time) Result {
+	gap := gapOf(sch.Makespan, sch.Bound)
 	return Result{
 		TotalWidth:    width,
 		Strategy:      strategy,
@@ -43,6 +48,9 @@ func packingResult(strategy Strategy, sch *pack.Schedule, width int, started tim
 		Time:          sch.Makespan,
 		MaxPower:      sch.MaxPower,
 		PeakPower:     sch.PeakPower(),
+		Gap:           gap,
+		Truncated:     sch.Truncated,
+		Proven:        gap == 0,
 		Elapsed:       time.Since(started),
 	}
 }

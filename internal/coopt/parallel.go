@@ -62,6 +62,12 @@ type parEvaluator struct {
 	bestSeq  int64
 	stats    Stats
 
+	// truncated records that the deadline fired between batches and the
+	// generator stopped feeding the pool. Written only by the generator
+	// (which runs on evaluateB's goroutine) and read after the workers
+	// drain, so it needs no synchronization of its own.
+	truncated bool
+
 	seq int64 // next sequence number (touched only by the generator)
 
 	// free recycles drained batch slabs back to the generator so a long B
@@ -130,6 +136,16 @@ func (p *parEvaluator) generate(width, numTAMs int, jobs chan<- batch) error {
 			if p.ctx != nil && p.ctx.Err() != nil {
 				return false
 			}
+			// Deadline poll at the same batch cadence as cancellation, and
+			// only once an incumbent exists (best is 0 until a first
+			// nonzero record; a degenerate all-zero-time SOC simply never
+			// truncates, which only costs it the early exit). Workers still
+			// drain the batches already queued, so the incumbent can keep
+			// improving past this point — the generator just stops feeding.
+			if !p.opt.Deadline.IsZero() && p.best.Load() != 0 && time.Now().After(p.opt.Deadline) {
+				p.truncated = true
+				return false
+			}
 			jobs <- cur
 			cur = batch{seq0: p.seq, width: numTAMs, flat: slab()}
 		}
@@ -138,7 +154,7 @@ func (p *parEvaluator) generate(width, numTAMs int, jobs chan<- batch) error {
 	if err := enumeratePartitions(width, numTAMs, p.opt.Enumeration, emit); err != nil {
 		return err
 	}
-	if len(cur.flat) > 0 && (p.ctx == nil || p.ctx.Err() == nil) {
+	if len(cur.flat) > 0 && !p.truncated && (p.ctx == nil || p.ctx.Err() == nil) {
 		jobs <- cur
 	}
 	return nil
@@ -234,5 +250,5 @@ func (p *parEvaluator) record(t soc.Cycles, parts []int, tamOf []int, seq int64,
 
 // finish assembles the Result exactly like the sequential path.
 func (p *parEvaluator) finish(width int, started time.Time) (Result, error) {
-	return finishResult(p.tables, p.opt, p.pc, soc.Cycles(p.best.Load()), p.bestPart, p.stats, width, started)
+	return finishResult(p.tables, p.opt, p.pc, soc.Cycles(p.best.Load()), p.bestPart, p.stats, width, started, p.truncated)
 }

@@ -48,6 +48,10 @@ type BackendRun struct {
 	// Cancelled reports that the incumbent bound proved the backend
 	// could neither beat nor tie-win the race, and it was stopped early.
 	Cancelled bool
+	// Truncated reports that the run's deadline stopped this backend
+	// with its incumbent in hand (Result.Truncated of its own run): Time
+	// is its best-so-far, not its natural answer.
+	Truncated bool
 	// Err is the backend's failure, if any ("" on success; a power
 	// ceiling can make one backend infeasible while another wins).
 	Err string
@@ -262,6 +266,7 @@ func solvePortfolio(parent context.Context, s *soc.SOC, width int, opt Options, 
 		switch {
 		case out.err == nil:
 			runs[i].Time = out.res.Time
+			runs[i].Truncated = out.res.Truncated
 			// Strict < keeps the earlier backend on ties: backends are
 			// visited in registration (tie-break) order.
 			if winner < 0 || out.res.Time < results[winner].res.Time {

@@ -1,0 +1,54 @@
+package pack_test
+
+import (
+	"testing"
+	"time"
+
+	"soctam/internal/pack"
+	"soctam/internal/socdata"
+)
+
+// An expired deadline still yields a complete valid packing — the first
+// attempt always runs to completion — tagged truncated, while a
+// generous deadline never fires and reproduces the unbounded schedule.
+func TestPackDeadline(t *testing.T) {
+	s := socdata.D695()
+	for _, tc := range []struct {
+		name string
+		fn   func(opt pack.Options) (*pack.Schedule, error)
+	}{
+		{"pack", func(opt pack.Options) (*pack.Schedule, error) { return pack.Pack(s, 32, opt) }},
+		{"diagonal", func(opt pack.Options) (*pack.Schedule, error) { return pack.PackDiagonal(s, 32, opt) }},
+	} {
+		base, err := tc.fn(pack.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if base.Truncated {
+			t.Errorf("%s: unbounded packing marked truncated", tc.name)
+		}
+
+		cut, err := tc.fn(pack.Options{Deadline: time.Unix(1, 0)})
+		if err != nil {
+			t.Fatalf("%s: expired deadline errored: %v", tc.name, err)
+		}
+		if !cut.Truncated {
+			t.Errorf("%s: expired deadline did not mark the schedule truncated", tc.name)
+		}
+		if err := cut.Validate(len(s.Cores)); err != nil {
+			t.Errorf("%s: truncated schedule invalid: %v", tc.name, err)
+		}
+		if cut.Makespan < cut.Bound {
+			t.Errorf("%s: truncated makespan %d below bound %d", tc.name, cut.Makespan, cut.Bound)
+		}
+
+		slow, err := tc.fn(pack.Options{Deadline: time.Now().Add(time.Hour)})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if slow.Truncated || slow.Makespan != base.Makespan {
+			t.Errorf("%s: generous deadline changed the result: makespan %d (truncated %v), want %d",
+				tc.name, slow.Makespan, slow.Truncated, base.Makespan)
+		}
+	}
+}

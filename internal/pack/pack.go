@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"soctam/internal/soc"
 	"soctam/internal/wrapper"
@@ -47,6 +48,11 @@ type Schedule struct {
 	// MaxPower is the peak-power ceiling the schedule was packed under;
 	// 0 means unconstrained. Validate enforces PeakPower <= MaxPower.
 	MaxPower int
+	// Truncated reports that the run's deadline (Options.Deadline)
+	// stopped the budget sweep early: the schedule is the best of the
+	// attempts that ran, not of the full sweep. It is still a complete,
+	// valid packing of every core — only schedule quality is affected.
+	Truncated bool
 }
 
 // PeakPower returns the maximum summed test power of concurrently
@@ -154,6 +160,15 @@ type Options struct {
 	// mismatched set is ignored and the packer computes its own; results
 	// are bit-for-bit identical either way.
 	Curves *wrapper.CurveSet
+	// Deadline, when nonzero, makes the run anytime: once a first
+	// complete schedule exists, the budget sweep and the refinement
+	// rounds stop at the first attempt boundary past the instant and
+	// the best schedule so far is returned with Truncated set. The
+	// first placement attempt always runs to completion, so a valid
+	// run always returns a schedule — never an error. A zero Deadline
+	// never reads the clock; results are then bit-for-bit identical to
+	// a deadline-free run.
+	Deadline time.Time
 }
 
 // builtinBudgets spans tight (wide rectangles, little slack) to relaxed
@@ -360,20 +375,33 @@ func packWith(ctx context.Context, s *soc.SOC, totalWidth int, opt Options, atte
 		tried[budget] = true
 		return attempt(a, shapes, budget, ceiling)
 	}
+	// The deadline is polled at the same attempt boundaries as
+	// cancellation, and only once a first schedule exists (a.haveBest):
+	// the sweep's first attempt always completes, so a deadline run
+	// always returns a valid schedule, merely a possibly worse one.
+	truncated := false
 	for _, mult := range opt.budgets() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if a.haveBest && !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			truncated = true
+			break
 		}
 		try(scaleCycles(lb, mult))
 	}
 	// Budget refinement: re-shape the rectangles against the best
 	// achieved makespan — the papers' iterative T adjustment. Each round
 	// aims below the incumbent until no target improves on it.
-	for iter := 0; iter < 32; iter++ {
+	for iter := 0; iter < 32 && !truncated; iter++ {
 		improved := false
 		for _, f := range []float64{0.80, 0.86, 0.91, 0.95, 0.98} {
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			if a.haveBest && !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+				truncated = true
+				break
 			}
 			if try(scaleCycles(a.best.Makespan, f)) {
 				improved = true
@@ -384,6 +412,7 @@ func packWith(ctx context.Context, s *soc.SOC, totalWidth int, opt Options, atte
 		}
 	}
 	best := a.take()
+	best.Truncated = truncated
 	sort.Slice(best.Rects, func(i, j int) bool {
 		if best.Rects[i].Start != best.Rects[j].Start {
 			return best.Rects[i].Start < best.Rects[j].Start

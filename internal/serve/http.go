@@ -45,6 +45,13 @@ type optionsJSON struct {
 	MaxPower    int    `json:"max_power,omitempty"`
 	FinalSolver string `json:"final_solver,omitempty"`
 	NodeLimit   int64  `json:"node_limit,omitempty"`
+	// DeadlineMS, when > 0, bounds the solve: past the deadline the
+	// solver returns its best incumbent so far (a valid schedule tagged
+	// truncated, with its optimality gap) instead of an error. It does
+	// not enter the cache key — a deadline bounds how long the solve
+	// may take, never what it computes — and truncated results are
+	// never cached.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // solveResponse is the body of a successful POST /v1/solve (and, with
@@ -67,20 +74,30 @@ type solveResponse struct {
 // resultJSON is the wire form of a coopt.Result, indexed on the
 // query's own core order.
 type resultJSON struct {
-	TotalWidth        int              `json:"total_width"`
-	Strategy          string           `json:"strategy"`
-	Time              int64            `json:"time"`
-	HeuristicTime     int64            `json:"heuristic_time"`
-	NumTAMs           int              `json:"num_tams,omitempty"`
-	Partition         []int            `json:"partition,omitempty"`
-	Assignment        []int            `json:"assignment,omitempty"`
-	AssignmentOptimal bool             `json:"assignment_optimal,omitempty"`
-	MaxPower          int              `json:"max_power,omitempty"`
-	PeakPower         int              `json:"peak_power,omitempty"`
-	SolveMS           float64          `json:"solve_ms"`
-	Stats             *statsJSON       `json:"stats,omitempty"`
-	Packing           *packingJSON     `json:"packing,omitempty"`
-	Portfolio         []backendRunJSON `json:"portfolio,omitempty"`
+	TotalWidth        int    `json:"total_width"`
+	Strategy          string `json:"strategy"`
+	Time              int64  `json:"time"`
+	HeuristicTime     int64  `json:"heuristic_time"`
+	NumTAMs           int    `json:"num_tams,omitempty"`
+	Partition         []int  `json:"partition,omitempty"`
+	Assignment        []int  `json:"assignment,omitempty"`
+	AssignmentOptimal bool   `json:"assignment_optimal,omitempty"`
+	MaxPower          int    `json:"max_power,omitempty"`
+	PeakPower         int    `json:"peak_power,omitempty"`
+	// Gap is the proven optimality gap ((time - lower bound) / lower
+	// bound); 0 means the result provably matches the bound. Always
+	// present so deadline-bounded clients can gate on it.
+	Gap float64 `json:"gap"`
+	// Truncated marks a deadline-bounded result: the best incumbent at
+	// the cutoff rather than the strategy's natural answer.
+	Truncated bool `json:"truncated,omitempty"`
+	// Proven marks a result known optimal (gap 0, or an exhaustive run
+	// that completed with every assignment solved exactly).
+	Proven    bool             `json:"proven,omitempty"`
+	SolveMS   float64          `json:"solve_ms"`
+	Stats     *statsJSON       `json:"stats,omitempty"`
+	Packing   *packingJSON     `json:"packing,omitempty"`
+	Portfolio []backendRunJSON `json:"portfolio,omitempty"`
 }
 
 type statsJSON struct {
@@ -112,6 +129,7 @@ type backendRunJSON struct {
 	Time      int64   `json:"time,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Cancelled bool    `json:"cancelled,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
 	Err       string  `json:"error,omitempty"`
 	Winner    bool    `json:"winner,omitempty"`
 }
@@ -232,9 +250,13 @@ func parseJob(req *solveRequest) (*soc.SOC, int, coopt.Options, *httpError) {
 		if o.MaxPower < 0 {
 			return nil, 0, coopt.Options{}, badRequest("max_power %d < 0", o.MaxPower)
 		}
+		if o.DeadlineMS < 0 {
+			return nil, 0, coopt.Options{}, badRequest("deadline_ms %d < 0", o.DeadlineMS)
+		}
 		opt.MaxTAMs = o.MaxTAMs
 		opt.MaxPower = o.MaxPower
 		opt.NodeLimit = o.NodeLimit
+		opt.Budget = time.Duration(o.DeadlineMS) * time.Millisecond
 	}
 	return s, req.Width, opt, nil
 }
@@ -260,19 +282,20 @@ func decodeStrict(r *http.Request, v any) *httpError {
 }
 
 // Handler returns the service's HTTP handler: POST /v1/solve, POST
-// /v1/batch, GET /v1/solvers, GET /v1/healthz, GET /v1/stats. Every
-// response is JSON (NDJSON for batch); see API.md for the schemas,
-// error codes and curl examples.
+// /v1/batch, POST /v1/stream, GET /v1/solvers, GET /v1/healthz, GET
+// /v1/stats. Every response is JSON (NDJSON for batch and stream); see
+// API.md for the schemas, error codes and curl examples.
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", method(http.MethodPost, sv.handleSolve))
 	mux.HandleFunc("/v1/batch", method(http.MethodPost, sv.handleBatch))
+	mux.HandleFunc("/v1/stream", method(http.MethodPost, sv.handleStream))
 	mux.HandleFunc("/v1/solvers", method(http.MethodGet, sv.handleSolvers))
 	mux.HandleFunc("/v1/healthz", method(http.MethodGet, sv.handleHealthz))
 	mux.HandleFunc("/v1/stats", method(http.MethodGet, sv.handleStats))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &httpError{status: http.StatusNotFound, code: "not_found",
-			msg: fmt.Sprintf("no such endpoint %s (have /v1/solve, /v1/batch, /v1/solvers, /v1/healthz, /v1/stats)", r.URL.Path)})
+			msg: fmt.Sprintf("no such endpoint %s (have /v1/solve, /v1/batch, /v1/stream, /v1/solvers, /v1/healthz, /v1/stats)", r.URL.Path)})
 	})
 	return mux
 }
@@ -343,6 +366,9 @@ func toResultJSON(s *soc.SOC, res coopt.Result) resultJSON {
 		AssignmentOptimal: res.AssignmentOptimal,
 		MaxPower:          res.MaxPower,
 		PeakPower:         res.PeakPower,
+		Gap:               res.Gap,
+		Truncated:         res.Truncated,
+		Proven:            res.Proven,
 		SolveMS:           float64(res.Elapsed) / float64(time.Millisecond),
 	}
 	// The enumerating backends report their evaluation counters; the
@@ -377,6 +403,7 @@ func toResultJSON(s *soc.SOC, res coopt.Result) resultJSON {
 			Time:      int64(run.Time),
 			ElapsedMS: float64(run.Elapsed) / float64(time.Millisecond),
 			Cancelled: run.Cancelled,
+			Truncated: run.Truncated,
 			Err:       run.Err,
 			Winner:    run.Winner,
 		})
@@ -460,6 +487,99 @@ func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// streamLine is one NDJSON line of the POST /v1/stream response:
+// progress events ("start", "improved", "done", "cancelled") as they
+// happen, then exactly one terminal line — "result" with the full
+// solve response, or "error" with the standard error body. A cache hit
+// emits only the terminal "result" line (there is no solve to watch).
+type streamLine struct {
+	Event   string `json:"event"`
+	Backend string `json:"backend,omitempty"`
+	// Time is the event's testing time (the new incumbent for
+	// "improved", the final time for a successful "done").
+	Time int64 `json:"time,omitempty"`
+	// Partitions is the 1-based enumeration sequence number of an
+	// improving partition, for backends that enumerate partitions.
+	Partitions int `json:"partitions,omitempty"`
+	// BackendErr carries a failed backend's "done" message (a portfolio
+	// racer can fail while another wins).
+	BackendErr string  `json:"backend_error,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms,omitempty"`
+	// Result is the terminal "result" payload — the same schema as a
+	// POST /v1/solve response.
+	Result *solveResponse `json:"result,omitempty"`
+	// Error is the terminal "error" payload — the same body as a
+	// non-streaming error response, delivered in-band because the 200
+	// header is already on the wire.
+	Error *errorBody `json:"error,omitempty"`
+}
+
+// handleStream serves POST /v1/stream: the request schema of /v1/solve,
+// answered as an NDJSON stream of solver progress (incumbent
+// improvements, backend lifecycle) followed by one terminal line.
+// Request errors detected before solving starts use the normal JSON
+// error statuses; once streaming begins, failures arrive as a terminal
+// "error" line on the 200 stream.
+func (sv *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.maxBodyBytes())
+	var req solveRequest
+	if he := decodeStrict(r, &req); he != nil {
+		sv.failed.Add(1)
+		writeError(w, he)
+		return
+	}
+	s, width, opt, he := parseJob(&req)
+	if he != nil {
+		sv.failed.Add(1)
+		writeError(w, he)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	// The progress hook fires on solver goroutines; the terminal line is
+	// written by this one. One mutex keeps lines whole.
+	var mu sync.Mutex
+	writeLine := func(line streamLine) {
+		mu.Lock()
+		defer mu.Unlock()
+		_ = enc.Encode(line) // a failed write means the client went away
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	res, meta, err := sv.SolveStream(r.Context(), s, width, opt, func(ev coopt.ProgressEvent) {
+		writeLine(streamLine{
+			Event:      ev.Kind.String(),
+			Backend:    ev.Backend,
+			Time:       int64(ev.Time),
+			Partitions: ev.Partitions,
+			BackendErr: ev.Err,
+			ElapsedMS:  float64(ev.Elapsed) / float64(time.Millisecond),
+		})
+	})
+	if err != nil {
+		if sv.base.Err() != nil {
+			err = fmt.Errorf("%w: %v", ErrShuttingDown, err)
+		}
+		he := asHTTPError(err)
+		writeLine(streamLine{Event: "error", Error: &errorBody{Code: he.code, Message: he.msg}})
+		return
+	}
+	writeLine(streamLine{Event: "result", Result: &solveResponse{
+		Digest:    meta.Digest,
+		Key:       meta.Key,
+		Cached:    meta.Cached,
+		Coalesced: meta.Coalesced,
+		ElapsedMS: float64(meta.Elapsed) / float64(time.Millisecond),
+		Result:    toResultJSON(s, res),
+	}})
 }
 
 // solverJSON is one GET /v1/solvers entry: a registered backend's name

@@ -32,6 +32,10 @@ func Run(ctx context.Context, addr string, cfg Config, out io.Writer) error {
 	fmt.Fprintf(out, "wtamd: listening on http://%s\n", ln.Addr())
 	fmt.Fprintf(out, "wtamd: %d workers x %d solve workers, cache %s\n",
 		sv.cfg.workers(), sv.cfg.solveWorkers(), cacheDesc(sv))
+	if sv.escq != nil {
+		fmt.Fprintf(out, "wtamd: escalating unproven cache entries (budget %s)\n",
+			sv.cfg.escalateBudget())
+	}
 
 	srv := &http.Server{
 		Handler:           sv.Handler(),

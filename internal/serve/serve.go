@@ -30,6 +30,13 @@ const (
 	// is zero (industrial .soc descriptions are a few KB; 32 MiB leaves
 	// three orders of magnitude of headroom).
 	DefaultMaxBodyBytes = 32 << 20
+	// DefaultEscalateBudget bounds one background escalation attempt
+	// when Config.EscalateBudget is zero.
+	DefaultEscalateBudget = 2 * time.Second
+	// escalateQueueSize bounds the escalation backlog; beyond it new
+	// candidates are dropped (escalation is best-effort, and a dropped
+	// candidate re-queues the next time its key is solved cold).
+	escalateQueueSize = 64
 )
 
 // Config tunes a Server. The zero value serves with all-CPU worker
@@ -54,6 +61,18 @@ type Config struct {
 	// MaxBodyBytes caps a request body in bytes; 0 means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Escalate enables the background escalation worker: whenever a
+	// completed but non-proven result lands in the cache (its Gap is
+	// positive and no exactness proof backs it), the worker re-solves
+	// the job with the exhaustive baseline during idle pool capacity
+	// and upgrades the entry when the exact run finishes in budget with
+	// a proven, no-worse testing time. Off by default: escalation
+	// changes what later cache hits return (a better, proven result),
+	// which a reproducibility-focused deployment may not want.
+	Escalate bool
+	// EscalateBudget bounds each escalation attempt via the solver's
+	// own anytime deadline; 0 means DefaultEscalateBudget.
+	EscalateBudget time.Duration
 }
 
 func (c Config) workers() int {
@@ -88,6 +107,13 @@ func (c Config) maxBodyBytes() int64 {
 	return c.MaxBodyBytes
 }
 
+func (c Config) escalateBudget() time.Duration {
+	if c.EscalateBudget <= 0 {
+		return DefaultEscalateBudget
+	}
+	return c.EscalateBudget
+}
+
 // Server multiplexes coopt.Solve across requests: a bounded worker
 // pool, an LRU cache of canonical results keyed by SOC digest plus
 // normalized options, and in-flight deduplication so concurrent
@@ -105,12 +131,26 @@ type Server struct {
 	fmu     sync.Mutex         // guards flights
 	flights map[string]*flight // key -> in-flight cold solve
 
-	completed  atomic.Int64 // jobs answered successfully
-	failed     atomic.Int64 // jobs answered with an error
-	inFlight   atomic.Int64 // solves currently holding a pool slot
-	solved     atomic.Int64 // cold solves actually run
-	coalesced  atomic.Int64 // jobs served by waiting on another's solve
-	solveNanos atomic.Int64 // summed cold-solve wall clock
+	escq chan escJob // escalation backlog; nil = escalation disabled
+
+	completed   atomic.Int64 // jobs answered successfully
+	failed      atomic.Int64 // jobs answered with an error
+	inFlight    atomic.Int64 // solves currently holding a pool slot
+	solved      atomic.Int64 // cold solves actually run
+	coalesced   atomic.Int64 // jobs served by waiting on another's solve
+	solveNanos  atomic.Int64 // summed cold-solve wall clock
+	escAttempts atomic.Int64 // escalation solves attempted
+	escalated   atomic.Int64 // cache entries upgraded by escalation
+}
+
+// escJob is one escalation candidate: everything needed to re-solve a
+// cached key exactly. canon is the canonical SOC the cache entry was
+// solved on, so the upgraded result stays in canonical core order.
+type escJob struct {
+	key   string
+	canon *soc.SOC
+	width int
+	norm  coopt.Options
 }
 
 // flight is one in-progress cold solve; followers for the same key wait
@@ -138,6 +178,12 @@ func New(cfg Config) *Server {
 			size = DefaultCacheSize
 		}
 		sv.results = cache.New[string, coopt.Result](size)
+	}
+	// Escalation needs a cache to upgrade; with caching disabled the
+	// worker would have nowhere to put a proven result.
+	if cfg.Escalate && sv.results != nil {
+		sv.escq = make(chan escJob, escalateQueueSize)
+		go sv.escalateLoop()
 	}
 	return sv
 }
@@ -169,7 +215,11 @@ type Meta struct {
 // form so parallelism knobs and spelled-out defaults cannot split
 // cache entries. Every result-affecting Options field appears here;
 // when a field is added to coopt.Options it must be added to this
-// fingerprint (or consciously excluded, like Workers).
+// fingerprint (or consciously excluded, like Workers — and like
+// Deadline/Budget, which bound how long a run may take but never what
+// a completed run computes, so keys stay deadline-independent and a
+// deadline-free client can hit an entry a deadline-bounded one
+// populated, and vice versa).
 func jobKey(digest string, width int, opt coopt.Options) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|w=%d|strat=%d|maxtams=%d|solver=%d|node=%d|ilpnode=%d|skipfinal=%t|noabort=%t|enum=%d|plain=%t|maxpower=%d|portfolio=%s",
@@ -189,6 +239,29 @@ func jobKey(digest string, width int, opt coopt.Options) string {
 // lifecycle so one impatient client cannot poison the identical jobs of
 // others.
 func (sv *Server) Solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Options) (coopt.Result, Meta, error) {
+	return sv.solve(ctx, s, width, opt, nil)
+}
+
+// SolveStream is Solve delivering the solve's progress events (backend
+// lifecycle, incumbent improvements) into fn while it runs — the
+// incumbent-stream seam behind POST /v1/stream. A cache hit answers
+// immediately and emits no events (there is no solve to observe);
+// otherwise the job always runs its own solve — the events belong to
+// this caller, so the run neither joins nor leads an in-flight
+// deduplication flight. The completed result still lands in the cache
+// under the deadline-independent key.
+func (sv *Server) SolveStream(ctx context.Context, s *soc.SOC, width int, opt coopt.Options, fn coopt.ProgressFunc) (coopt.Result, Meta, error) {
+	return sv.solve(ctx, s, width, opt, fn)
+}
+
+// solve is the shared request path. Anytime jobs (a Deadline or Budget
+// set) and observed jobs (fn non-nil) bypass the in-flight
+// deduplication flights: a deadline-bounded leader could hand its
+// truncated incumbent to deadline-free followers (or a patient leader
+// could stall an aggressive-deadline follower past its deadline), and
+// a follower cannot observe a leader's progress — so those jobs solve
+// directly, and only complete (non-truncated) results are ever cached.
+func (sv *Server) solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Options, fn coopt.ProgressFunc) (coopt.Result, Meta, error) {
 	t0 := time.Now()
 	if err := s.Validate(); err != nil {
 		sv.failed.Add(1)
@@ -201,18 +274,32 @@ func (sv *Server) Solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Op
 
 	if sv.results != nil {
 		if res, ok := sv.results.Get(meta.Key); ok {
+			// A cached entry is always a complete result (truncated ones
+			// are never stored), so it answers deadline-bounded queries
+			// too — a complete answer within any deadline.
 			meta.Cached = true
 			meta.Elapsed = time.Since(t0)
 			sv.completed.Add(1)
 			return remapResult(res, perm), meta, nil
 		}
 	}
-	res, coalesced, err := sv.solveShared(ctx, meta.Key, canon, width, norm)
+	var res coopt.Result
+	var err error
+	if anytime := !opt.Deadline.IsZero() || opt.Budget > 0; anytime || fn != nil {
+		run := norm
+		run.Deadline, run.Budget = opt.Deadline, opt.Budget
+		run.Progress = fn
+		res, err = sv.solveCold(ctx, canon, width, run)
+		if err == nil {
+			sv.cachePut(meta.Key, canon, width, norm, res)
+		}
+	} else {
+		res, meta.Coalesced, err = sv.solveShared(ctx, meta.Key, canon, width, norm)
+	}
 	if err != nil {
 		sv.failed.Add(1)
 		return coopt.Result{}, meta, err
 	}
-	meta.Coalesced = coalesced
 	meta.Elapsed = time.Since(t0)
 	sv.completed.Add(1)
 	return remapResult(res, perm), meta, nil
@@ -251,8 +338,8 @@ func (sv *Server) solveShared(ctx context.Context, key string, canon *soc.SOC, w
 		sv.fmu.Unlock()
 
 		f.res, f.err = sv.solveCold(ctx, canon, width, norm)
-		if f.err == nil && sv.results != nil {
-			sv.results.Put(key, f.res)
+		if f.err == nil {
+			sv.cachePut(key, canon, width, norm, f.res)
 		}
 		sv.fmu.Lock()
 		delete(sv.flights, key)
@@ -287,6 +374,74 @@ func (sv *Server) solveCold(ctx context.Context, canon *soc.SOC, width int, norm
 	}
 	sv.solved.Add(1)
 	return res, nil
+}
+
+// cachePut stores a completed solve's result and, when the result is
+// not proven optimal, queues it for background escalation. Truncated
+// results never enter the cache: a deadline-bounded incumbent answers
+// the one request that set the deadline, but the shared entry for the
+// key must hold a complete result — this is what keeps a hit
+// bit-for-bit identical to the cold solve it replaces, whatever
+// deadlines other clients used (see jobKey).
+func (sv *Server) cachePut(key string, canon *soc.SOC, width int, norm coopt.Options, res coopt.Result) {
+	if sv.results == nil || res.Truncated {
+		return
+	}
+	sv.results.Put(key, res)
+	if res.Proven || sv.escq == nil {
+		return
+	}
+	select {
+	case sv.escq <- escJob{key: key, canon: canon, width: width, norm: norm}:
+	default: // backlog full: drop — escalation is best-effort
+	}
+}
+
+// escalateLoop drains the escalation backlog until the server closes.
+func (sv *Server) escalateLoop() {
+	for {
+		select {
+		case <-sv.base.Done():
+			return
+		case j := <-sv.escq:
+			sv.escalateOne(j)
+		}
+	}
+}
+
+// escalateOne re-solves one cached, non-proven entry with the
+// exhaustive baseline under the escalation budget and upgrades the
+// entry when the exact run completes in budget with a proven testing
+// time at least as good. The no-worse guard matters beyond paranoia: a
+// packing entry's schedule is not a fixed-bus architecture, so the
+// exhaustive fixed-bus optimum can be genuinely slower — such entries
+// keep their heuristic result. The attempt takes a pool slot like any
+// solve, so escalation only ever consumes idle capacity-equivalents
+// and interactive jobs queue at worst one extra budget behind it.
+func (sv *Server) escalateOne(j escJob) {
+	cur, ok := sv.results.Get(j.key)
+	if !ok || cur.Proven {
+		return // evicted or already upgraded since it was queued
+	}
+	select {
+	case sv.sem <- struct{}{}:
+	case <-sv.base.Done():
+		return
+	}
+	defer func() { <-sv.sem }()
+	sv.escAttempts.Add(1)
+
+	opt := j.norm
+	opt.Strategy = coopt.StrategyExhaustive
+	opt.Portfolio = ""
+	opt.Budget = sv.cfg.escalateBudget()
+	opt.Workers = sv.cfg.solveWorkers()
+	res, err := coopt.SolveContext(sv.base, j.canon, j.width, opt)
+	if err != nil || res.Truncated || !res.Proven || res.Time > cur.Time {
+		return
+	}
+	sv.results.Put(j.key, res)
+	sv.escalated.Add(1)
 }
 
 // remapResult re-indexes a canonical-order result onto the query's core
@@ -346,6 +501,11 @@ type JobStats struct {
 	// compute the cache and coalescing saved is
 	// (Completed - Solved) / Solved of this, roughly.
 	SolveSeconds float64 `json:"solve_seconds"`
+	// Escalations counts background escalation solves attempted;
+	// Escalated counts cache entries actually upgraded to a proven
+	// result. Both stay 0 unless Config.Escalate is on.
+	Escalations int64 `json:"escalations,omitempty"`
+	Escalated   int64 `json:"escalated,omitempty"`
 }
 
 // CacheStats reports the result cache. With caching disabled only
@@ -373,6 +533,8 @@ func (sv *Server) Stats() Stats {
 			Solved:       sv.solved.Load(),
 			Coalesced:    sv.coalesced.Load(),
 			SolveSeconds: time.Duration(sv.solveNanos.Load()).Seconds(),
+			Escalations:  sv.escAttempts.Load(),
+			Escalated:    sv.escalated.Load(),
 		},
 	}
 	if sv.results != nil {

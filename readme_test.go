@@ -3,6 +3,8 @@ package soctam_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -71,5 +73,33 @@ func TestReadmeMentionsEveryStrategyName(t *testing.T) {
 	}
 	if !strings.Contains(text, "portfolio:") {
 		t.Error("README never shows the portfolio subset spec syntax")
+	}
+}
+
+// TestReadmeFlagTablesMatchCLIs keeps the README's wtam/wtamd flag
+// tables honest against the commands' actual flag sets: every flag a
+// binary defines must appear as a `-name` in the README, so adding a
+// flag without documenting it fails here.
+func TestReadmeFlagTablesMatchCLIs(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+	flagDef := regexp.MustCompile(`flags\.(?:String|Int|Int64|Bool|Duration|Float64)\("([^"]+)"`)
+	for _, cmd := range []string{"wtam", "wtamd"} {
+		src, err := os.ReadFile(filepath.Join("cmd", cmd, "main.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches := flagDef.FindAllStringSubmatch(string(src), -1)
+		if len(matches) == 0 {
+			t.Fatalf("no flag definitions found in cmd/%s/main.go (did the definition idiom change?)", cmd)
+		}
+		for _, m := range matches {
+			if !strings.Contains(readme, "`-"+m[1]) {
+				t.Errorf("cmd/%s flag -%s is missing from the README flag tables", cmd, m[1])
+			}
+		}
 	}
 }

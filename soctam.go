@@ -19,7 +19,10 @@
 //     Options.Strategy (and Options.Portfolio for the race subset),
 //     with partition evaluation parallelized across Options.Workers, an
 //     optional peak-power ceiling enforced via Options.MaxPower (or the
-//     SOC's own MaxPower), and live observability via Options.Progress;
+//     SOC's own MaxPower), live observability via Options.Progress, and
+//     anytime solving via Options.Deadline/Options.Budget (past the
+//     cutoff the best incumbent so far is returned, tagged Truncated
+//     with its optimality gap in Result.Gap, never an error);
 //   - Solvers / LookupBackend / ParseStrategySpec: the registry's
 //     discovery surface — every selectable backend with its capability
 //     flags (power-aware, cancellable, exact, combinator);
@@ -249,7 +252,13 @@ func Solve(s *SOC, totalWidth int, opt Options) (Result, error) {
 // SolveContext is Solve with cancellation: every backend polls ctx and
 // returns its error once it fires. Cancellation never alters the result
 // of a run that completes; the wtamd solver service uses it to abandon
-// in-flight solves on shutdown.
+// in-flight solves on shutdown. Distinct from cancellation, a deadline
+// (Options.Deadline or Options.Budget) makes the solve anytime: past
+// the cutoff the backend returns its best incumbent so far — a valid
+// architecture tagged Result.Truncated with its optimality gap in
+// Result.Gap — instead of an error. Runs without a deadline are
+// bit-for-bit identical to runs before deadlines existed; see
+// ARCHITECTURE.md §13.
 func SolveContext(ctx context.Context, s *SOC, totalWidth int, opt Options) (Result, error) {
 	return coopt.SolveContext(ctx, s, totalWidth, opt)
 }
