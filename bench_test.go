@@ -417,3 +417,34 @@ func BenchmarkSolve(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkILP tracks the exact ILP/B&B engine's trajectory on d695 at
+// the paper's full 32-wire budget — the exhaustive baseline is too slow
+// to sit in a benchmark, the pruned search is not. Allocations are
+// gated like every trajectory bench: the engine's hot path is the
+// per-partition bound arithmetic plus one LP relaxation per surviving
+// partition, and an allocs/op regression means a prune stopped paying
+// for itself.
+func BenchmarkILP(b *testing.B) {
+	s, err := socdata.ByName("d695")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("d695", func(b *testing.B) {
+		b.ReportAllocs()
+		var last soctam.Cycles
+		for i := 0; i < b.N; i++ {
+			res, err := coopt.Solve(s, 32, coopt.Options{
+				Strategy:  coopt.StrategyILP,
+				MaxTAMs:   6,
+				NodeLimit: 200_000,
+				Workers:   1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res.Time
+		}
+		b.ReportMetric(float64(last), "cycles")
+	})
+}

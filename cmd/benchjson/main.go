@@ -64,7 +64,7 @@ import (
 
 // defaultBench selects the trajectory benchmarks: the root per-SOC ×
 // per-strategy solve set plus the hot-path primitive benches.
-const defaultBench = "^(BenchmarkSolve$|BenchmarkCoreAssignP93791$|BenchmarkTimeTableP93791$|BenchmarkDesignWrapperS38584$|BenchmarkPartitionScoring|BenchmarkSkylinePlacement|BenchmarkWrapperCurve|BenchmarkPowerTimeline)"
+const defaultBench = "^(BenchmarkSolve$|BenchmarkILP$|BenchmarkCoreAssignP93791$|BenchmarkTimeTableP93791$|BenchmarkDesignWrapperS38584$|BenchmarkPartitionScoring|BenchmarkSkylinePlacement|BenchmarkWrapperCurve|BenchmarkPowerTimeline)"
 
 // defaultPackages are the packages holding trajectory benchmarks.
 const defaultPackages = ".,./internal/coopt,./internal/pack,./internal/wrapper"

@@ -165,6 +165,20 @@ func run(args []string) error {
 			return err
 		}
 		return printPartitionResult(s, res, false, true, *verbose, *gantt)
+	case soctam.StrategyILP:
+		// The exact branch-and-bound engine: sequential like the [8]
+		// baseline it reproduces, already solving through the ILP (so
+		// -ilp is implied); -node-limit budgets its per-partition
+		// solves.
+		if err := rejectFlags(flags, strat.String(), "the exact engine is sequential and already prunes through the ILP relaxation",
+			"tams", "workers", "exhaustive", "ilp"); err != nil {
+			return err
+		}
+		res, err := soctam.Solve(s, *width, opt)
+		if err != nil {
+			return err
+		}
+		return printPartitionResult(s, res, false, true, *verbose, *gantt)
 	case soctam.StrategyPacking, soctam.StrategyDiagonal:
 		// The packers have no fixed TAMs, no exact step, no partition
 		// enumeration: every flag tuning those is silently meaningless,

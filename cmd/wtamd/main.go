@@ -23,9 +23,11 @@
 // Deadline-bounded jobs (options.deadline_ms) return the best incumbent
 // at the cutoff with its optimality gap instead of an error; truncated
 // results are never cached. With -escalate, a background worker
-// re-solves unproven cached results exhaustively (each attempt bounded
-// by -escalate-budget) during idle capacity, upgrading entries it
-// proves optimal in place.
+// re-solves unproven cached results with the exact ILP branch-and-bound
+// engine — the same optima as the exhaustive baseline at a fraction of
+// the cost, so more entries upgrade inside one budget (each attempt
+// bounded by -escalate-budget) — during idle capacity, upgrading
+// entries it proves optimal in place.
 //
 // Endpoints: POST /v1/solve (one job), POST /v1/batch (many jobs,
 // NDJSON lines in completion order), POST /v1/stream (one job, progress

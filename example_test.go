@@ -25,12 +25,12 @@ func ExampleSolve() {
 
 // ExampleSolve_strategies selects each registered co-optimization
 // backend in turn — the partition flow, the two rectangle bin-packing
-// heuristics, the exact exhaustive baseline — and finally the portfolio
-// combinator that races the heuristics concurrently and returns the
-// winner, never worse than the best single backend, deterministically
-// at any Workers setting. Solvers lists every selectable backend with
-// its capability flags; the exact engine is marked and stays out of the
-// bare portfolio race.
+// heuristics, the exact exhaustive baseline, the pruning exact ILP
+// engine — and finally the portfolio combinator that races the
+// heuristics concurrently and returns the winner, never worse than the
+// best single backend, deterministically at any Workers setting.
+// Solvers lists every selectable backend with its capability flags; the
+// exact engines are marked and stay out of the bare portfolio race.
 func ExampleSolve_strategies() {
 	s := soctam.D695()
 	for _, info := range soctam.Solvers() {
@@ -53,6 +53,7 @@ func ExampleSolve_strategies() {
 	// packing    21616 cycles
 	// diagonal   22427 cycles
 	// exhaustive 21435 cycles  (proven optimal)
+	// ilp        21435 cycles  (proven optimal)
 	// portfolio  21566 cycles
 }
 

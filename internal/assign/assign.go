@@ -2,6 +2,7 @@ package assign
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"soctam/internal/ilp"
@@ -283,6 +284,38 @@ func SolveExact(in *Instance, opt ExactOptions) (Assignment, bool, error) {
 	return Assignment{TAMOf: res.Assign, Loads: loads, Time: span}, res.Optimal, nil
 }
 
+// SolveExactCutoff solves the instance restricted to assignments
+// strictly faster than cutoff cycles (cutoff > 0), warm-started like
+// SolveExact. found reports whether such an assignment exists within
+// the node budget; proven reports a completed search — with found it
+// means a proven optimum, without it a proof that nothing below the
+// cutoff exists (the caller's incumbent of value cutoff is therefore
+// optimal). Seeding the search at the cutoff prunes it near the root,
+// so a "no improvement" proof costs a fraction of a full solve.
+func SolveExactCutoff(in *Instance, opt ExactOptions, cutoff soc.Cycles) (a Assignment, found, proven bool, err error) {
+	var warm []int
+	if h, ok := CoreAssign(in, 0); ok {
+		h = LocalImprove(in, h)
+		warm = h.TAMOf
+	}
+	res, err := sched.BranchAndBound(in.Times, sched.Options{
+		WarmAssign: warm,
+		NodeLimit:  opt.NodeLimit,
+		Cutoff:     cutoff,
+	})
+	if err != nil {
+		return Assignment{}, false, false, err
+	}
+	if res.Assign == nil {
+		return Assignment{}, false, res.Optimal, nil
+	}
+	loads, span, err := in.Times.Makespan(res.Assign)
+	if err != nil {
+		return Assignment{}, false, false, err
+	}
+	return Assignment{TAMOf: res.Assign, Loads: loads, Time: span}, true, res.Optimal, nil
+}
+
 // LocalImprove hill-climbs an assignment with single-core moves and
 // pairwise swaps until no step strictly reduces the SOC testing time.
 // It tightens warm starts so the exact branch-and-bound prunes harder;
@@ -393,6 +426,74 @@ type ILPOptions struct {
 	NodeLimit int
 }
 
+// RelaxationBound solves the LP relaxation of the Section 3.2 model and
+// returns the rounded-up fractional makespan: a valid lower bound on the
+// instance's optimal testing time, because every integral assignment is
+// feasible for the relaxation and all testing times are integral. ok is
+// false when the simplex gave up (iteration limit) — the caller must
+// then skip the bound, never trust a partial one.
+func RelaxationBound(in *Instance) (bound soc.Cycles, ok bool, err error) {
+	model := BuildILP(in)
+	sol, err := model.Prob.Solve()
+	if err != nil {
+		return 0, false, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, false, nil
+	}
+	return soc.Cycles(math.Ceil(sol.Objective - 1e-6)), true, nil
+}
+
+// SolveILPCutoff solves the instance's ILP restricted to assignments
+// strictly faster than cutoff cycles (cutoff > 0). found reports whether
+// such an assignment exists within the node budget; proven reports a
+// completed search — with found it means a proven optimum, without it a
+// proof that nothing below the cutoff exists (the caller's incumbent of
+// value cutoff is therefore optimal).
+func SolveILPCutoff(in *Instance, opt ILPOptions, cutoff soc.Cycles) (a Assignment, found, proven bool, err error) {
+	model := BuildILP(in)
+	res, err := ilp.Solve(model, ilp.Options{NodeLimit: opt.NodeLimit, Cutoff: float64(cutoff)})
+	if err != nil {
+		return Assignment{}, false, false, err
+	}
+	switch res.Status {
+	case ilp.Optimal, ilp.Feasible:
+		a, err = decodeILP(in, res.X)
+		if err != nil {
+			return Assignment{}, false, false, err
+		}
+		return a, true, res.Proven, nil
+	case ilp.Cutoff:
+		return Assignment{}, false, true, nil
+	case ilp.Limit:
+		return Assignment{}, false, false, nil
+	}
+	return Assignment{}, false, false, fmt.Errorf("assign: cutoff ILP solve ended with status %v", res.Status)
+}
+
+// decodeILP reads the 0/1 assignment out of an ILP solution vector.
+func decodeILP(in *Instance, x []float64) (Assignment, error) {
+	n, nb := in.NumCores(), in.NumTAMs()
+	tamOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		tamOf[i] = -1
+		for j := 0; j < nb; j++ {
+			if x[i*nb+j] > 0.5 {
+				tamOf[i] = j
+				break
+			}
+		}
+		if tamOf[i] < 0 {
+			return Assignment{}, fmt.Errorf("assign: ILP solution leaves core %d unassigned", i+1)
+		}
+	}
+	loads, span, err := in.Times.Makespan(tamOf)
+	if err != nil {
+		return Assignment{}, err
+	}
+	return Assignment{TAMOf: tamOf, Loads: loads, Time: span}, nil
+}
+
 // SolveILP solves the instance through the Section 3.2 ILP model and the
 // package ilp branch-and-bound — the path the paper took with lpsolve.
 // optimal reports proven optimality.
@@ -405,23 +506,9 @@ func SolveILP(in *Instance, opt ILPOptions) (Assignment, bool, error) {
 	if res.Status != ilp.Optimal && res.Status != ilp.Feasible {
 		return Assignment{}, false, fmt.Errorf("assign: ILP solve ended with status %v", res.Status)
 	}
-	n, nb := in.NumCores(), in.NumTAMs()
-	tamOf := make([]int, n)
-	for i := 0; i < n; i++ {
-		tamOf[i] = -1
-		for j := 0; j < nb; j++ {
-			if res.X[i*nb+j] > 0.5 {
-				tamOf[i] = j
-				break
-			}
-		}
-		if tamOf[i] < 0 {
-			return Assignment{}, false, fmt.Errorf("assign: ILP solution leaves core %d unassigned", i+1)
-		}
-	}
-	loads, span, err := in.Times.Makespan(tamOf)
+	a, err := decodeILP(in, res.X)
 	if err != nil {
 		return Assignment{}, false, err
 	}
-	return Assignment{TAMOf: tamOf, Loads: loads, Time: span}, res.Proven, nil
+	return a, res.Proven, nil
 }

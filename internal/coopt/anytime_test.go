@@ -63,6 +63,7 @@ func TestExpiredDeadlineReturnsIncumbent(t *testing.T) {
 		{"partition-seq", Options{Strategy: StrategyPartition, Workers: 1}},
 		{"partition-par", Options{Strategy: StrategyPartition, Workers: 4}},
 		{"exhaustive", Options{Strategy: StrategyExhaustive}},
+		{"ilp", Options{Strategy: StrategyILP}},
 		{"packing", Options{Strategy: StrategyPacking}},
 		{"diagonal", Options{Strategy: StrategyDiagonal}},
 		{"portfolio", Options{Strategy: StrategyPortfolio}},
@@ -109,9 +110,9 @@ func TestExpiredDeadlineLegacyEntryPoints(t *testing.T) {
 // guarantee, exercised through the deadline-polling code paths).
 func TestGenerousDeadlineMatchesUnbounded(t *testing.T) {
 	s := socdata.D695()
-	for _, strat := range []Strategy{StrategyPartition, StrategyExhaustive, StrategyPacking, StrategyDiagonal} {
+	for _, strat := range []Strategy{StrategyPartition, StrategyExhaustive, StrategyILP, StrategyPacking, StrategyDiagonal} {
 		width := 32
-		if strat == StrategyExhaustive {
+		if strat == StrategyExhaustive || strat == StrategyILP {
 			width = 16
 		}
 		base, err := Solve(s, width, Options{Strategy: strat, Workers: 1})
@@ -191,6 +192,7 @@ func TestProgressFramingUnderDeadline(t *testing.T) {
 		{"partition-seq", Options{Strategy: StrategyPartition, Workers: 1}},
 		{"partition-par", Options{Strategy: StrategyPartition, Workers: 4}},
 		{"exhaustive", Options{Strategy: StrategyExhaustive}},
+		{"ilp", Options{Strategy: StrategyILP}},
 		{"packing", Options{Strategy: StrategyPacking}},
 		{"diagonal", Options{Strategy: StrategyDiagonal}},
 		{"portfolio", Options{Strategy: StrategyPortfolio}},

@@ -17,7 +17,7 @@ import (
 // combinator, with the capability flags the redesign promises.
 func TestSolversListing(t *testing.T) {
 	infos := Solvers()
-	wantNames := []string{"partition", "packing", "diagonal", "exhaustive", "portfolio"}
+	wantNames := []string{"partition", "packing", "diagonal", "exhaustive", "ilp", "portfolio"}
 	if len(infos) != len(wantNames) {
 		t.Fatalf("Solvers() lists %d backends, want %d", len(infos), len(wantNames))
 	}
@@ -31,7 +31,7 @@ func TestSolversListing(t *testing.T) {
 		if !info.PowerAware || !info.Cancellable {
 			t.Errorf("%s: every built-in backend is power-aware and cancellable, got %+v", info.Name, info)
 		}
-		if info.Exact != (info.Name == "exhaustive") {
+		if info.Exact != (info.Name == "exhaustive" || info.Name == "ilp") {
 			t.Errorf("%s: Exact = %t", info.Name, info.Exact)
 		}
 		if info.Combinator != (info.Name == "portfolio") {

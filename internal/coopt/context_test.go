@@ -16,7 +16,7 @@ func TestSolveContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s := socdata.D695()
-	for _, strat := range []Strategy{StrategyPartition, StrategyPacking, StrategyDiagonal, StrategyPortfolio} {
+	for _, strat := range []Strategy{StrategyPartition, StrategyPacking, StrategyDiagonal, StrategyILP, StrategyPortfolio} {
 		_, err := SolveContext(ctx, s, 32, Options{Strategy: strat, Workers: 1})
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("%v: cancelled solve returned %v, want context.Canceled", strat, err)
@@ -28,7 +28,7 @@ func TestSolveContextCancelled(t *testing.T) {
 // context through may never change a completed run.
 func TestSolveContextMatchesSolve(t *testing.T) {
 	s := socdata.D695()
-	for _, strat := range []Strategy{StrategyPartition, StrategyPacking, StrategyPortfolio} {
+	for _, strat := range []Strategy{StrategyPartition, StrategyPacking, StrategyILP, StrategyPortfolio} {
 		opt := Options{Strategy: strat, Workers: 1}
 		a, err := Solve(s, 24, opt)
 		if err != nil {

@@ -49,6 +49,15 @@ const (
 	// Proven optimal, exponential cost — selectable and raceable, but
 	// never part of the bare portfolio race.
 	StrategyExhaustive
+	// StrategyILP is the exact branch-and-bound engine over the same
+	// partition space as StrategyExhaustive, but pruning: partitions
+	// whose combinatorial or LP-relaxation lower bound cannot beat the
+	// incumbent are discarded without an exact solve, and the exact
+	// solves themselves run against the incumbent as a cutoff. Returns
+	// the same proven-optimal testing time as the [8] baseline at a
+	// fraction of its cost; like it, raceable but never part of the
+	// bare portfolio race.
+	StrategyILP
 )
 
 // String names the strategy by its registered backend name.

@@ -243,6 +243,22 @@ func TestCoOptimizeILPFinal(t *testing.T) {
 	if bb.Time != ilpRes.Time {
 		t.Errorf("final step disagrees: B&B %d vs ILP %d", bb.Time, ilpRes.Time)
 	}
+	if !ilpRes.AssignmentOptimal {
+		t.Error("ILP final solve did not mark the assignment optimal")
+	}
+	// The heuristic flow cannot prove its answer (its gap against the
+	// volume bound stays positive here); the registered exact engine
+	// must prove that the answer was in fact the optimum.
+	exact, err := Solve(s, 10, Options{MaxTAMs: 2, Strategy: StrategyILP})
+	if err != nil {
+		t.Fatalf("Solve(ilp): %v", err)
+	}
+	if !exact.Proven {
+		t.Errorf("exact engine returned unproven result (gap %f)", exact.Gap)
+	}
+	if exact.Time != ilpRes.Time {
+		t.Errorf("heuristic flow returned %d cycles, exact engine proves %d", ilpRes.Time, exact.Time)
+	}
 }
 
 func TestMaxTAMsCappedByWidth(t *testing.T) {

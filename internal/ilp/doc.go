@@ -11,4 +11,13 @@
 // LP relaxation cannot beat the incumbent. Only minimization problems are
 // accepted (P_AW minimizes testing time); callers with maximization
 // problems negate their objective.
+//
+// Since the registry gained the "ilp" engine (coopt.StrategyILP;
+// ARCHITECTURE.md §14), this package also serves the registered exact
+// backend — not by solving each partition's 0/1 model through the
+// simplex (that costs milliseconds where the combinatorial search costs
+// microseconds) but by contributing the model's LP relaxation as a
+// pruning bound, and through Options.Cutoff, which turns a solve into
+// the cheaper decision "is there anything strictly below the
+// incumbent?" with a proven Cutoff status when there is not.
 package ilp

@@ -153,3 +153,106 @@ func TestLargeAssignmentRelaxation(t *testing.T) {
 		t.Errorf("relaxation %v above a feasible schedule %v", s.Objective, all0)
 	}
 }
+
+// buildPAW assembles the Section 3.2 assignment relaxation for a random
+// n-core, b-TAM testing-time matrix: x_ij in [0,1] with per-core
+// convexity rows (EQ — a degenerate vertex at every integral point) and
+// per-TAM load rows coupled to the makespan variable. It mirrors
+// assign.BuildILP's layout, which this package cannot import (assign
+// and ilp sit above lp in the dependency order).
+func buildPAW(times [][]float64) *Problem {
+	n, b := len(times), len(times[0])
+	nv := n*b + 1
+	p := &Problem{NumVars: nv, Objective: make([]float64, nv)}
+	p.Objective[n*b] = 1
+	for i := 0; i < n; i++ {
+		row := make([]float64, nv)
+		for j := 0; j < b; j++ {
+			row[i*b+j] = 1
+		}
+		p.AddConstraint(row, EQ, 1)
+	}
+	for j := 0; j < b; j++ {
+		row := make([]float64, nv)
+		for i := 0; i < n; i++ {
+			row[i*b+j] = times[i][j]
+		}
+		row[n*b] = -1
+		p.AddConstraint(row, LE, 0)
+	}
+	return p
+}
+
+// randPAWTimes draws a wrapper-curve-shaped time matrix: per-core base
+// times spread over several orders of magnitude, non-increasing in the
+// TAM index, with frequent exact ties (flat curve segments) — the
+// degeneracy pattern real wrapper curves feed the simplex.
+func randPAWTimes(r *rand.Rand, n, b int) [][]float64 {
+	times := make([][]float64, n)
+	for i := range times {
+		times[i] = make([]float64, b)
+		t := float64(1 + r.Intn(1<<uint(3+r.Intn(14))))
+		for j := 0; j < b; j++ {
+			times[i][j] = t
+			// Flat segments with probability 1/2: ties across columns.
+			if r.Intn(2) == 0 {
+				t = math.Ceil(t * (0.5 + r.Float64()/2))
+			}
+		}
+	}
+	return times
+}
+
+// TestRandomPAWRelaxations drives the simplex over randomized P_AW
+// instances and checks the invariants every relaxation must satisfy:
+// termination at a proven-feasible Optimal despite the EQ-row
+// degeneracy, a bound between the best single entry and a trivially
+// feasible integral schedule, and exact reproducibility (the solver is
+// deterministic — two runs must agree to the last bit, or the cache
+// keys built on these bounds drift).
+func TestRandomPAWRelaxations(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, b := 2+r.Intn(8), 2+r.Intn(4)
+		times := randPAWTimes(r, n, b)
+		p := buildPAW(times)
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			t.Logf("seed %d: status %v err %v", seed, s.Status, err)
+			return false
+		}
+		if !p.Feasible(s.X, 1e-6) {
+			t.Logf("seed %d: optimum not feasible", seed)
+			return false
+		}
+		// A fractional schedule may split a core across TAMs (so the
+		// bottleneck-core bound does not apply), but it cannot beat the
+		// volume bound — every core ships at least its cheapest time,
+		// spread over b TAMs — nor exceed the all-on-TAM-0 schedule.
+		var vol, all0 float64
+		for i := range times {
+			fastest := times[i][0]
+			for _, v := range times[i] {
+				if v < fastest {
+					fastest = v
+				}
+			}
+			vol += fastest
+			all0 += times[i][0]
+		}
+		lo := vol / float64(b)
+		if s.Objective < lo-1e-6 || s.Objective > all0+1e-6 {
+			t.Logf("seed %d: bound %v outside [%v, %v]", seed, s.Objective, lo, all0)
+			return false
+		}
+		again, err := buildPAW(times).Solve()
+		if err != nil || again.Objective != s.Objective {
+			t.Logf("seed %d: replay drifted %v -> %v (err %v)", seed, s.Objective, again.Objective, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

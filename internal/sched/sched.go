@@ -174,10 +174,21 @@ type Options struct {
 	WarmAssign []int
 	// NodeLimit caps search nodes; <= 0 means 5,000,000.
 	NodeLimit int64
+	// Cutoff, when non-zero, is an exclusive upper bound on the
+	// makespan: the search reports only schedules strictly faster,
+	// pruning against the cutoff from the root. When none exists,
+	// Result.Assign is nil and Optimal reports whether that is a
+	// completed proof. A caller holding an incumbent of value c passes
+	// Cutoff=c to ask "is there anything better?" far more cheaply than
+	// re-deriving the optimum. The zero value means no cutoff, so an
+	// incumbent of exactly 0 cycles cannot be expressed — real
+	// testing-time makespans are always positive.
+	Cutoff soc.Cycles
 }
 
-// Result is the outcome of BranchAndBound. Assign is always a complete,
-// valid schedule achieving Makespan.
+// Result is the outcome of BranchAndBound. Assign is a complete, valid
+// schedule achieving Makespan — except under Options.Cutoff, where a
+// nil Assign reports that no schedule below the cutoff was found.
 type Result struct {
 	Assign   []int
 	Makespan soc.Cycles
@@ -219,6 +230,13 @@ func BranchAndBound(m Matrix, opt Options) (Result, error) {
 			incumbent = warmSpan
 			bestAssign = append([]int(nil), opt.WarmAssign...)
 		}
+	}
+	found := true
+	if opt.Cutoff != 0 && incumbent >= opt.Cutoff {
+		// Neither seed beats the cutoff: search below it instead, and
+		// only a schedule the search itself finds counts as a result.
+		incumbent = opt.Cutoff
+		found = false
 	}
 
 	// Branch jobs in decreasing order of their minimum time: big rocks
@@ -271,6 +289,7 @@ func BranchAndBound(m Matrix, opt Options) (Result, error) {
 			if span < incumbent {
 				incumbent = span
 				copy(bestAssign, cur)
+				found = true
 			}
 			return
 		}
@@ -318,6 +337,9 @@ func BranchAndBound(m Matrix, opt Options) (Result, error) {
 	}
 	rec(0, 0)
 
+	if !found {
+		return Result{Nodes: nodes, Optimal: complete}, nil
+	}
 	return Result{Assign: bestAssign, Makespan: incumbent, Nodes: nodes, Optimal: complete}, nil
 }
 

@@ -234,3 +234,77 @@ func TestErrorsPropagate(t *testing.T) {
 		t.Error("BruteForce accepted ragged matrix")
 	}
 }
+
+// The Cutoff option turns the search into a decision procedure: prove
+// "no makespan strictly below c" or return one. Check both sides of
+// the cutoff against brute force, plus the no-op generous case.
+func TestBranchAndBoundCutoff(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatrix(r, 7, 3, 100)
+		_, want, err := BruteForce(m)
+		if err != nil {
+			return false
+		}
+		if want == 0 {
+			// An all-zero optimum collides with Cutoff's "none" sentinel
+			// (real makespans are positive); nothing to decide here.
+			return true
+		}
+
+		at, err := BranchAndBound(m, Options{Cutoff: want})
+		if err != nil {
+			t.Logf("seed %d: cutoff at optimum: %v", seed, err)
+			return false
+		}
+		if at.Assign != nil || !at.Optimal {
+			t.Logf("seed %d: cutoff at optimum %d returned assign=%v optimal=%v",
+				seed, want, at.Assign, at.Optimal)
+			return false
+		}
+
+		above, err := BranchAndBound(m, Options{Cutoff: want + 1})
+		if err != nil || above.Assign == nil || !above.Optimal {
+			t.Logf("seed %d: cutoff above optimum: %+v err=%v", seed, above, err)
+			return false
+		}
+		if above.Makespan != want {
+			t.Logf("seed %d: cutoff solve found %d, optimum is %d", seed, above.Makespan, want)
+			return false
+		}
+		if _, span, err := m.Makespan(above.Assign); err != nil || span != want {
+			return false
+		}
+
+		generous, err := BranchAndBound(m, Options{Cutoff: want + 10000})
+		if err != nil || generous.Makespan != want {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A warm start at or above the cutoff must not leak through as a found
+// solution: the warm incumbent only seeds the bound.
+func TestBranchAndBoundCutoffWarmStart(t *testing.T) {
+	m := Matrix{{10, 20}, {10, 20}, {10, 20}}
+	// Optimal: two jobs on machine 0, one on machine 1 -> makespan 20.
+	warm := []int{0, 0, 0} // makespan 30, above any useful cutoff
+	res, err := BranchAndBound(m, Options{WarmAssign: warm, Cutoff: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign != nil || !res.Optimal {
+		t.Errorf("cutoff 20 with warm 30: assign=%v optimal=%v, want proven none", res.Assign, res.Optimal)
+	}
+	res, err = BranchAndBound(m, Options{WarmAssign: warm, Cutoff: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign == nil || res.Makespan != 20 {
+		t.Errorf("cutoff 21: %+v, want the 20-cycle optimum", res)
+	}
+}

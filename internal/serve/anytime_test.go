@@ -105,8 +105,8 @@ func TestEscalationUpgradesCachedEntry(t *testing.T) {
 			if res.Time > r1.Time {
 				t.Errorf("escalated entry is worse: %d cycles, was %d", res.Time, r1.Time)
 			}
-			if res.Strategy != coopt.StrategyExhaustive {
-				t.Errorf("escalated entry carries strategy %v, want exhaustive", res.Strategy)
+			if res.Strategy != coopt.StrategyILP {
+				t.Errorf("escalated entry carries strategy %v, want ilp", res.Strategy)
 			}
 			break
 		}

@@ -373,7 +373,8 @@ func toResultJSON(s *soc.SOC, res coopt.Result) resultJSON {
 	}
 	// The enumerating backends report their evaluation counters; the
 	// packers have none (a packed schedule has no partition enumeration).
-	if res.Packing == nil && (res.Strategy == coopt.StrategyPartition || res.Strategy == coopt.StrategyExhaustive) {
+	if res.Packing == nil && (res.Strategy == coopt.StrategyPartition || res.Strategy == coopt.StrategyExhaustive ||
+		res.Strategy == coopt.StrategyILP) {
 		st := statsJSON(res.Stats)
 		out.Stats = &st
 	}

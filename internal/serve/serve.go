@@ -409,15 +409,18 @@ func (sv *Server) escalateLoop() {
 	}
 }
 
-// escalateOne re-solves one cached, non-proven entry with the
-// exhaustive baseline under the escalation budget and upgrades the
-// entry when the exact run completes in budget with a proven testing
-// time at least as good. The no-worse guard matters beyond paranoia: a
-// packing entry's schedule is not a fixed-bus architecture, so the
-// exhaustive fixed-bus optimum can be genuinely slower — such entries
-// keep their heuristic result. The attempt takes a pool slot like any
-// solve, so escalation only ever consumes idle capacity-equivalents
-// and interactive jobs queue at worst one extra budget behind it.
+// escalateOne re-solves one cached, non-proven entry with the exact
+// ILP branch-and-bound engine under the escalation budget and upgrades
+// the entry when the exact run completes in budget with a proven
+// testing time at least as good. The ILP engine proves the same optima
+// as the exhaustive baseline while pruning most of its partition space,
+// so more entries upgrade inside one budget. The no-worse guard matters
+// beyond paranoia: a packing entry's schedule is not a fixed-bus
+// architecture, so the exact fixed-bus optimum can be genuinely slower
+// — such entries keep their heuristic result. The attempt takes a pool
+// slot like any solve, so escalation only ever consumes idle
+// capacity-equivalents and interactive jobs queue at worst one extra
+// budget behind it.
 func (sv *Server) escalateOne(j escJob) {
 	cur, ok := sv.results.Get(j.key)
 	if !ok || cur.Proven {
@@ -432,7 +435,7 @@ func (sv *Server) escalateOne(j escJob) {
 	sv.escAttempts.Add(1)
 
 	opt := j.norm
-	opt.Strategy = coopt.StrategyExhaustive
+	opt.Strategy = coopt.StrategyILP
 	opt.Portfolio = ""
 	opt.Budget = sv.cfg.escalateBudget()
 	opt.Workers = sv.cfg.solveWorkers()

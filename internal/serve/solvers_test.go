@@ -43,6 +43,27 @@ func TestSolversEndpoint(t *testing.T) {
 			t.Errorf("solver %d: %+v != registry %+v", i, got, want)
 		}
 	}
+	// The exact engines must advertise themselves as such — clients pick
+	// a proof-capable backend off this listing, so the flags are API,
+	// not decoration. The ILP engine is additionally cancellable (the
+	// exhaustive baseline predates cancellation) and must not be listed
+	// as a combinator.
+	byName := make(map[string]solverJSON)
+	for _, s := range body.Solvers {
+		byName[s.Name] = s
+	}
+	ilp, ok := byName["ilp"]
+	if !ok {
+		t.Fatal("/v1/solvers does not list the ilp engine")
+	}
+	if !ilp.Exact || !ilp.Cancellable || ilp.Combinator {
+		t.Errorf("ilp capabilities exact=%t cancellable=%t combinator=%t, want true/true/false",
+			ilp.Exact, ilp.Cancellable, ilp.Combinator)
+	}
+	if !byName["exhaustive"].Exact {
+		t.Error("exhaustive engine not listed as exact")
+	}
+
 	// The endpoint is GET-only.
 	postResp, _ := postJSON(t, ts.URL+"/v1/solvers", `{}`)
 	if postResp.StatusCode != http.StatusMethodNotAllowed {
@@ -135,8 +156,10 @@ func TestDistinctStrategiesDistinctCacheEntries(t *testing.T) {
 		{"packing", coopt.Options{Strategy: coopt.StrategyPacking}},
 		{"diagonal", coopt.Options{Strategy: coopt.StrategyDiagonal}},
 		{"exhaustive", coopt.Options{Strategy: coopt.StrategyExhaustive}},
+		{"ilp", coopt.Options{Strategy: coopt.StrategyILP}},
 		{"portfolio", coopt.Options{Strategy: coopt.StrategyPortfolio}},
 		{"portfolio:partition,exhaustive", coopt.Options{Strategy: coopt.StrategyPortfolio, Portfolio: "partition,exhaustive"}},
+		{"portfolio:packing,ilp", coopt.Options{Strategy: coopt.StrategyPortfolio, Portfolio: "packing,ilp"}},
 	} {
 		_, meta, err := sv.Solve(ctx, s, 16, tc.opt)
 		if err != nil {
@@ -162,6 +185,7 @@ func TestDistinctStrategiesDistinctCacheEntries(t *testing.T) {
 	for label, opt := range map[string]coopt.Options{
 		"spelled-out default": {Strategy: coopt.StrategyPortfolio, Portfolio: "partition,packing,diagonal"},
 		"reordered subset":    {Strategy: coopt.StrategyPortfolio, Portfolio: " Exhaustive ,partition"},
+		"reordered ilp race":  {Strategy: coopt.StrategyPortfolio, Portfolio: " ILP , packing "},
 	} {
 		_, meta, err := sv.Solve(ctx, s, 16, opt)
 		if err != nil {
@@ -170,5 +194,57 @@ func TestDistinctStrategiesDistinctCacheEntries(t *testing.T) {
 		if !meta.Cached {
 			t.Errorf("%s: did not hit the canonical subset's cache entry", label)
 		}
+	}
+}
+
+// TestILPOverHTTP is the service-level half of the exactness gate: a
+// "-strategy ilp" request answers with the exhaustive baseline's
+// testing time, marked proven, under its own cache key — and the
+// portfolio:packing,ilp race is never worse than either member.
+func TestILPOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	type result struct {
+		Key    string `json:"key"`
+		Result struct {
+			Strategy string  `json:"strategy"`
+			Time     int64   `json:"time"`
+			Proven   bool    `json:"proven"`
+			Gap      float64 `json:"gap"`
+		} `json:"result"`
+	}
+	solve := func(t *testing.T, options string) result {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/solve",
+			fmt.Sprintf(`{"benchmark":"d695","width":16,"options":%s}`, options))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("options %s: status %d: %s", options, resp.StatusCode, body)
+		}
+		var out result
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	ilp := solve(t, `{"strategy":"ilp"}`)
+	if ilp.Result.Strategy != "ilp" {
+		t.Errorf("ilp request answered by %q", ilp.Result.Strategy)
+	}
+	if !ilp.Result.Proven {
+		t.Errorf("ilp result not proven (gap %f)", ilp.Result.Gap)
+	}
+	exh := solve(t, `{"strategy":"exhaustive"}`)
+	if ilp.Result.Time != exh.Result.Time {
+		t.Errorf("ilp %d cycles != exhaustive %d over HTTP", ilp.Result.Time, exh.Result.Time)
+	}
+	if ilp.Key == exh.Key {
+		t.Error("ilp and exhaustive share a cache key")
+	}
+
+	race := solve(t, `{"strategy":"portfolio:packing,ilp"}`)
+	packing := solve(t, `{"strategy":"packing"}`)
+	if race.Result.Time > packing.Result.Time || race.Result.Time > ilp.Result.Time {
+		t.Errorf("race %d cycles worse than a member (packing %d, ilp %d)",
+			race.Result.Time, packing.Result.Time, ilp.Result.Time)
 	}
 }

@@ -143,6 +143,12 @@ const (
 	// [8] behind Solve: proven optimal, exponential cost, raceable only
 	// when a portfolio spec names it.
 	StrategyExhaustive = coopt.StrategyExhaustive
+	// StrategyILP is the exact branch-and-bound engine: the exhaustive
+	// baseline's partition space searched with LP-relaxation and
+	// lower-bound pruning (internal/lp, internal/ilp) — the same proven
+	// optimum at a fraction of the cost. Raceable only when a portfolio
+	// spec names it.
+	StrategyILP = coopt.StrategyILP
 )
 
 // Progress event kinds for ProgressEvent.Kind.
