@@ -1,0 +1,336 @@
+// Command loadgen drives a running wtamd (a single node or any entry
+// node of a -peers cluster) with realistic request mixes and writes a
+// machine-readable benchmark report. It is the measurement half of the
+// distributed serving tier: CI runs it against a three-node cluster
+// and publishes the report as BENCH_serve.json (see ARCHITECTURE.md
+// §15).
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080
+//	loadgen -addr 127.0.0.1:8080 -scenarios zipfian,burst -duration 10s
+//	loadgen -addr 127.0.0.1:8080 -concurrency 16 -out BENCH_serve.json
+//
+// Scenarios:
+//
+//   - zipfian: requests repeat over the benchmark×width job set with a
+//     Zipf-distributed popularity skew — the cache-friendly steady
+//     state a production service actually sees.
+//   - burst: the same job mix in saturating on/off bursts with idle
+//     gaps, exercising admission control and queue drain.
+//   - mixed: uniform job choice plus varied strategies and deadlines —
+//     the cache-hostile worst case.
+//
+// Every scenario reports request count, error and shed (HTTP 429)
+// counts, the observed cache-hit fraction, throughput, and latency
+// percentiles. The report ends with the server's own /v1/stats
+// snapshot, so a cluster run also records routing and degradation
+// counters. A shed request is honored: the worker backs off for the
+// server's Retry-After (capped at one second) before continuing.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errBadFlags) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+var errBadFlags = errors.New("bad flags")
+
+// job is one entry of the benchmark×width request universe.
+type job struct {
+	benchmark string
+	width     int
+}
+
+// scenarioResult is one scenario's row in the report.
+type scenarioResult struct {
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	// Errors counts failed requests (transport errors and non-2xx other
+	// than 429); Shed counts 429 load-shed responses, reported apart
+	// because shedding is the server working as designed.
+	Errors int `json:"errors"`
+	Shed   int `json:"shed"`
+	// HitRate is the fraction of successful responses answered from the
+	// result cache or by coalescing into an in-flight solve.
+	HitRate       float64 `json:"hit_rate"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Addr        string           `json:"addr"`
+	Concurrency int              `json:"concurrency"`
+	DurationSec float64          `json:"duration_seconds"`
+	Scenarios   []scenarioResult `json:"scenarios"`
+	// ServerStats is the target's final /v1/stats body verbatim — on a
+	// cluster node it carries the ring, routing and shed counters.
+	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	flags := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr        = flags.String("addr", "http://127.0.0.1:8080", "base URL (or host:port) of the wtamd node to drive")
+		scenarios   = flags.String("scenarios", "all", `comma-separated scenario list from "zipfian", "burst", "mixed" (or "all")`)
+		duration    = flags.Duration("duration", 5*time.Second, "wall-clock run time per scenario")
+		concurrency = flags.Int("concurrency", 8, "concurrent client workers")
+		benchmarks  = flags.String("benchmarks", "d695,p21241,p31108,p93791", "comma-separated benchmark SOCs to request")
+		widths      = flags.String("widths", "16,24,32,48", "comma-separated TAM widths to request")
+		seed        = flags.Int64("seed", 1, "RNG seed for job choice (same seed, same request sequence)")
+		outPath     = flags.String("out", "BENCH_serve.json", "report file to write")
+	)
+	if err := flags.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errBadFlags
+	}
+	if flags.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (loadgen takes only flags)", flags.Arg(0))
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-concurrency %d < 1", *concurrency)
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("-duration %s must be positive", *duration)
+	}
+	base := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	names := strings.Split(*scenarios, ",")
+	if *scenarios == "all" {
+		names = []string{"zipfian", "burst", "mixed"}
+	}
+	for _, n := range names {
+		switch strings.TrimSpace(n) {
+		case "zipfian", "burst", "mixed":
+		default:
+			return fmt.Errorf("unknown scenario %q (valid: zipfian, burst, mixed)", n)
+		}
+	}
+
+	var jobs []job
+	for _, b := range strings.Split(*benchmarks, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			return fmt.Errorf("empty entry in -benchmarks %q", *benchmarks)
+		}
+		for _, ws := range strings.Split(*widths, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(ws))
+			if err != nil || w < 1 {
+				return fmt.Errorf("bad width %q in -widths", ws)
+			}
+			jobs = append(jobs, job{benchmark: b, width: w})
+		}
+	}
+
+	rep := report{Addr: base, Concurrency: *concurrency, DurationSec: duration.Seconds()}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		fmt.Fprintf(out, "loadgen: scenario %s for %s against %s\n", name, *duration, base)
+		res := runScenario(name, base, jobs, *concurrency, *duration, *seed)
+		fmt.Fprintf(out, "loadgen: %s: %d requests, %.1f req/s, hit rate %.2f, p95 %.1fms, %d shed, %d errors\n",
+			name, res.Requests, res.ThroughputRPS, res.HitRate, res.P95MS, res.Shed, res.Errors)
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+
+	if stats, err := fetchStats(base); err == nil {
+		rep.ServerStats = stats
+	} else {
+		fmt.Fprintf(out, "loadgen: could not fetch /v1/stats: %v\n", err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "loadgen: wrote %s\n", *outPath)
+	return nil
+}
+
+// sample is one request's outcome as a worker saw it.
+type sample struct {
+	latency time.Duration
+	hit     bool
+	shed    bool
+	err     bool
+}
+
+// runScenario drives one scenario to completion and aggregates its
+// samples.
+func runScenario(name, base string, jobs []job, concurrency int, duration time.Duration, seed int64) scenarioResult {
+	// burstPeriod is the on/off cycle of the burst scenario: full rate
+	// for a half-period, idle for the next.
+	const burstPeriod = 500 * time.Millisecond
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	results := make(chan []sample, concurrency)
+	for w := 0; w < concurrency; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			// s > 1 concentrates mass on low ranks: a few hot jobs, a long
+			// cold tail — the canonical web-workload popularity curve.
+			zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(jobs)-1))
+			client := &http.Client{Timeout: 2 * time.Minute}
+			var got []sample
+			for time.Now().Before(deadline) {
+				if name == "burst" {
+					sinceStart := time.Since(start)
+					if (sinceStart/burstPeriod)%2 == 1 { // off half-cycle
+						next := sinceStart.Truncate(burstPeriod) + burstPeriod
+						time.Sleep(next - sinceStart)
+						continue
+					}
+				}
+				var j job
+				body := ""
+				switch name {
+				case "mixed":
+					j = jobs[rng.Intn(len(jobs))]
+					opts := ""
+					switch rng.Intn(4) {
+					case 1:
+						opts = `,"options":{"strategy":"packing"}`
+					case 2:
+						opts = `,"options":{"deadline_ms":100}`
+					}
+					body = fmt.Sprintf(`{"benchmark":%q,"width":%d%s}`, j.benchmark, j.width, opts)
+				default: // zipfian popularity, also used by burst
+					j = jobs[zipf.Uint64()]
+					body = fmt.Sprintf(`{"benchmark":%q,"width":%d}`, j.benchmark, j.width)
+				}
+				got = append(got, doRequest(client, base, body))
+			}
+			results <- got
+		}(w)
+	}
+
+	var all []sample
+	for w := 0; w < concurrency; w++ {
+		all = append(all, <-results...)
+	}
+	elapsed := time.Since(start)
+
+	res := scenarioResult{Name: name, Requests: len(all)}
+	var latencies []float64
+	hits, oks := 0, 0
+	for _, s := range all {
+		switch {
+		case s.err:
+			res.Errors++
+		case s.shed:
+			res.Shed++
+		default:
+			oks++
+			if s.hit {
+				hits++
+			}
+			latencies = append(latencies, float64(s.latency)/float64(time.Millisecond))
+		}
+	}
+	if oks > 0 {
+		res.HitRate = float64(hits) / float64(oks)
+	}
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	}
+	sort.Float64s(latencies)
+	res.P50MS = percentile(latencies, 0.50)
+	res.P95MS = percentile(latencies, 0.95)
+	res.P99MS = percentile(latencies, 0.99)
+	return res
+}
+
+// doRequest posts one solve and classifies the outcome. A 429 is
+// honored by sleeping out the server's Retry-After, capped at a second
+// so one pessimistic estimate cannot idle the worker for the whole run.
+func doRequest(client *http.Client, base, body string) sample {
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		return sample{err: true}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	latency := time.Since(t0)
+	if err != nil {
+		return sample{err: true}
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		backoff := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			if d := time.Duration(secs) * time.Second; d < backoff {
+				backoff = d
+			}
+		}
+		time.Sleep(backoff)
+		return sample{shed: true}
+	case resp.StatusCode != http.StatusOK:
+		return sample{err: true}
+	}
+	var out struct {
+		Cached    bool `json:"cached"`
+		Coalesced bool `json:"coalesced"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return sample{err: true}
+	}
+	return sample{latency: latency, hit: out.Cached || out.Coalesced}
+}
+
+// percentile reads the p-quantile from sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// fetchStats snapshots the target's /v1/stats body.
+func fetchStats(base string) (json.RawMessage, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats status %d", resp.StatusCode)
+	}
+	return raw, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"soctam/internal/serve"
+)
+
+func TestLoadgenBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"stray"},
+		{"-scenarios", "magic"},
+		{"-concurrency", "0"},
+		{"-duration", "-1s"},
+		{"-widths", "16,zero"},
+		{"-benchmarks", ",,"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// loadgen against a real in-process server: every scenario runs, the
+// report lands on disk with plausible numbers, and the zipfian skew
+// actually produces cache hits.
+func TestLoadgenWritesReport(t *testing.T) {
+	sv := serve.New(serve.Config{Workers: 2})
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	outPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var log strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-scenarios", "zipfian,burst,mixed",
+		"-duration", "300ms",
+		"-concurrency", "4",
+		"-benchmarks", "d695",
+		"-widths", "16,24",
+		"-out", outPath,
+	}, &log)
+	if err != nil {
+		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report %s: %v", raw, err)
+	}
+	if len(rep.Scenarios) != 3 {
+		t.Fatalf("report has %d scenarios, want 3:\n%s", len(rep.Scenarios), raw)
+	}
+	for i, want := range []string{"zipfian", "burst", "mixed"} {
+		sc := rep.Scenarios[i]
+		if sc.Name != want {
+			t.Errorf("scenario %d named %q, want %q", i, sc.Name, want)
+		}
+		if sc.Requests < 1 {
+			t.Errorf("scenario %q made no requests", sc.Name)
+		}
+		if sc.Errors != 0 {
+			t.Errorf("scenario %q had %d errors against a healthy server", sc.Name, sc.Errors)
+		}
+		if sc.Requests > 1 && sc.P50MS <= 0 {
+			t.Errorf("scenario %q p50 = %v", sc.Name, sc.P50MS)
+		}
+		if sc.ThroughputRPS <= 0 {
+			t.Errorf("scenario %q throughput = %v", sc.Name, sc.ThroughputRPS)
+		}
+	}
+	// Two distinct jobs and hundreds of zipf-skewed requests: everything
+	// after the two cold solves must be a hit or coalesce.
+	if rep.Scenarios[0].Requests > 10 && rep.Scenarios[0].HitRate == 0 {
+		t.Errorf("zipfian hit rate = 0 over %d requests", rep.Scenarios[0].Requests)
+	}
+	if len(rep.ServerStats) == 0 {
+		t.Error("report carries no server stats snapshot")
+	}
+	var stats serve.Stats
+	if err := json.Unmarshal(rep.ServerStats, &stats); err != nil {
+		t.Errorf("server stats not a /v1/stats body: %v", err)
+	}
+	if stats.Jobs.Completed < 1 {
+		t.Errorf("server completed %d jobs", stats.Jobs.Completed)
+	}
+	if !strings.Contains(log.String(), "loadgen: wrote "+outPath) {
+		t.Errorf("no report announcement in log:\n%s", log.String())
+	}
+}

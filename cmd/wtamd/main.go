@@ -13,6 +13,8 @@
 //	wtamd -addr 127.0.0.1:0                # free port, printed at startup
 //	wtamd -cache-size 65536 -solve-workers 2
 //	wtamd -escalate -escalate-budget 5s    # upgrade unproven cache entries
+//	wtamd -addr :8081 -self 10.0.0.1:8081 \
+//	      -peers 10.0.0.1:8081,10.0.0.2:8081,10.0.0.3:8081   # cluster node
 //
 // The daemon prints one "wtamd: listening on http://<host:port>" line
 // once the listener is up (with -addr port 0 this is how scripts learn
@@ -29,6 +31,15 @@
 // bounded by -escalate-budget) — during idle capacity, upgrading
 // entries it proves optimal in place.
 //
+// With -peers (a comma-separated host:port list shared by every node)
+// and -self (this node's own entry in that list), the daemon joins a
+// digest-sharded cluster: each SOC digest has one owning node on a
+// consistent-hash ring, jobs are forwarded to their owner, and a down
+// owner's jobs degrade to bit-for-bit identical local solves. -max-queue
+// bounds admission per node — a saturated node sheds jobs with 429 and
+// a Retry-After header instead of queueing unboundedly. See
+// ARCHITECTURE.md §15.
+//
 // Endpoints: POST /v1/solve (one job), POST /v1/batch (many jobs,
 // NDJSON lines in completion order), POST /v1/stream (one job, progress
 // events and incumbent improvements as NDJSON while it solves), GET
@@ -44,6 +55,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"soctam/internal/serve"
@@ -73,6 +85,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cacheSize      = flags.Int("cache-size", 0, "result-cache capacity in entries (0 = 1024, negative disables caching)")
 		escalate       = flags.Bool("escalate", false, "re-solve unproven cached results exhaustively in the background, upgrading entries proven optimal")
 		escalateBudget = flags.Duration("escalate-budget", 0, "wall-clock budget per background escalation attempt (0 = 2s)")
+		peers          = flags.String("peers", "", "comma-separated host:port cluster peer list (every node passes the same list); enables digest-sharded routing")
+		self           = flags.String("self", "", "this node's own host:port entry in -peers (its ring identity)")
+		maxQueue       = flags.Int("max-queue", 0, "queued jobs admitted per node beyond the running workers before shedding with 429 (0 = unbounded)")
+		peerTimeout    = flags.Duration("peer-timeout", 0, "timeout for one forwarded request before degrading to a local solve (0 = 30s)")
 	)
 	if err := flags.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -86,11 +102,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *escalateBudget != 0 && !*escalate {
 		return fmt.Errorf("-escalate-budget requires -escalate")
 	}
+	if *peers != "" && *self == "" {
+		return fmt.Errorf("-peers requires -self (this node's own entry in the list)")
+	}
+	if *self != "" && *peers == "" {
+		return fmt.Errorf("-self requires -peers")
+	}
+	if *peerTimeout != 0 && *peers == "" {
+		return fmt.Errorf("-peer-timeout requires -peers")
+	}
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
 	return serve.Run(ctx, *addr, serve.Config{
 		Workers:        *workers,
 		SolveWorkers:   *solveWorkers,
 		CacheSize:      *cacheSize,
 		Escalate:       *escalate,
 		EscalateBudget: *escalateBudget,
+		MaxQueue:       *maxQueue,
+		Peers:          peerList,
+		Self:           *self,
+		PeerTimeout:    *peerTimeout,
 	}, out)
 }

@@ -105,4 +105,80 @@ func TestBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"stray"}, &syncBuffer{}); err == nil {
 		t.Error("stray positional argument accepted")
 	}
+	if err := run(context.Background(), []string{"-peers", "a:1,b:2"}, &syncBuffer{}); err == nil {
+		t.Error("-peers without -self accepted")
+	}
+	if err := run(context.Background(), []string{"-self", "a:1"}, &syncBuffer{}); err == nil {
+		t.Error("-self without -peers accepted")
+	}
+	if err := run(context.Background(), []string{"-peer-timeout", "5s"}, &syncBuffer{}); err == nil {
+		t.Error("-peer-timeout without -peers accepted")
+	}
+	if err := run(context.Background(), []string{"-self", "nonsense", "-peers", "nonsense"},
+		&syncBuffer{}); err == nil {
+		t.Error("unparseable -self address accepted")
+	}
+}
+
+// A clustered daemon announces its ring and reports it in /v1/stats.
+func TestDaemonClusterStartup(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0",
+			"-self", "10.0.0.1:9090", "-peers", "10.0.0.1:9090,10.0.0.2:9090",
+			"-max-queue", "8", "-peer-timeout", "5s"}, out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no listening line; output %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "wtamd: listening on "); ok {
+				base = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "ring of 2 nodes, self 10.0.0.1:9090") {
+		t.Errorf("no ring announcement in output %q", out.String())
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Ring *struct {
+			Self    string `json:"self"`
+			Members []struct {
+				Addr string `json:"addr"`
+			} `json:"members"`
+		} `json:"ring"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Ring == nil {
+		t.Fatal("clustered daemon reported no ring stats")
+	}
+	if stats.Ring.Self != "10.0.0.1:9090" || len(stats.Ring.Members) != 2 {
+		t.Errorf("ring stats = %+v", stats.Ring)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on cancellation")
+	}
 }

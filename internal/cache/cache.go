@@ -79,6 +79,32 @@ func (l *LRU[K, V]) Len() int {
 	return l.order.Len()
 }
 
+// Keys returns a snapshot of the stored keys, most recently used first.
+// It does not touch recency or the hit/miss counters.
+func (l *LRU[K, V]) Keys() []K {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]K, 0, l.order.Len())
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry[K, V]).key)
+	}
+	return keys
+}
+
+// Remove deletes the entry stored under key, reporting whether one
+// existed. A removal is not an eviction (the counter is untouched).
+func (l *LRU[K, V]) Remove(key K) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		return false
+	}
+	l.order.Remove(el)
+	delete(l.items, key)
+	return true
+}
+
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
 	// Len and Capacity are the current and maximum entry counts.

@@ -103,3 +103,42 @@ func ExampleLRU() {
 	fmt.Println(x, okY, l.Stats().Evictions)
 	// Output: ex false 1
 }
+
+func TestKeysAndRemove(t *testing.T) {
+	l := New[string, int](3)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Put("c", 3)
+	l.Get("a") // a becomes most recently used
+	got := l.Keys()
+	want := []string{"a", "c", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+	if !l.Remove("c") {
+		t.Error("Remove of a present key reported false")
+	}
+	if l.Remove("c") {
+		t.Error("second Remove of the same key reported true")
+	}
+	if _, ok := l.Get("c"); ok {
+		t.Error("removed key still retrievable")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len() = %d after removal, want 2", l.Len())
+	}
+	// Removal must not count as an eviction.
+	if st := l.Stats(); st.Evictions != 0 {
+		t.Errorf("Remove counted as eviction: %+v", st)
+	}
+	// The freed slot must be reusable without evicting.
+	l.Put("d", 4)
+	if st := l.Stats(); st.Evictions != 0 || st.Len != 3 {
+		t.Errorf("stats after refill = %+v", st)
+	}
+}

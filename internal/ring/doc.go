@@ -1,0 +1,9 @@
+// Package ring implements the consistent-hash ring the distributed
+// serving tier shards by: SOC content digests (soc.Digest) map to owner
+// nodes through a fixed set of virtual-node points, so every node of a
+// cluster derives the same digest→owner mapping from nothing but the
+// shared peer list, and membership changes remap only the minimal key
+// range (keeping per-node result caches warm). See ARCHITECTURE.md §15
+// for how internal/serve routes on it and why the tier needs no cache
+// coherence protocol on top.
+package ring

@@ -1,0 +1,81 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzMembershipSequence drives a ring through an arbitrary membership
+// sequence (each input byte is one add/remove of one of 16 member
+// names) and checks the structural invariants after every step:
+//
+//   - Add/Remove report exactly whether they changed the set, and
+//     Members()/Len() track the model set.
+//   - Every key resolves to a current member (or nothing, on an empty
+//     ring).
+//   - History independence: a fresh ring built from the surviving set
+//     owns every probe key identically, however the fuzzed ring got
+//     there.
+func FuzzMembershipSequence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x00, 0x80})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x82, 0x02, 0x81})
+	f.Add([]byte{0x0f, 0x8f, 0x0f, 0x8f, 0x0f})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		// Few replicas keep the fuzz fast; the properties under test are
+		// replica-count independent.
+		r := New(16)
+		model := make(map[string]bool)
+		probes := testKeysFuzz(32)
+		for _, op := range ops {
+			name := fmt.Sprintf("node-%d", op&0x0f)
+			if op&0x80 == 0 {
+				if got, want := r.Add(name), !model[name]; got != want {
+					t.Fatalf("Add(%q) = %v with model membership %v", name, got, model[name])
+				}
+				model[name] = true
+			} else {
+				if got, want := r.Remove(name), model[name]; got != want {
+					t.Fatalf("Remove(%q) = %v with model membership %v", name, got, model[name])
+				}
+				delete(model, name)
+			}
+			if r.Len() != len(model) {
+				t.Fatalf("Len() = %d, model has %d", r.Len(), len(model))
+			}
+			for _, k := range probes {
+				o, ok := r.Owner(k)
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("empty ring owned %q", k)
+					}
+					continue
+				}
+				if !ok || !model[o] {
+					t.Fatalf("key %q owned by %q (%v), not a current member", k, o, ok)
+				}
+			}
+		}
+		// History independence against a fresh build of the final set.
+		fresh := New(16)
+		for _, m := range r.Members() {
+			fresh.Add(m)
+		}
+		for _, k := range probes {
+			a, okA := r.Owner(k)
+			b, okB := fresh.Owner(k)
+			if a != b || okA != okB {
+				t.Fatalf("key %q: fuzzed ring %q/%v, fresh ring %q/%v", k, a, okA, b, okB)
+			}
+		}
+	})
+}
+
+func testKeysFuzz(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("probe-%d", i*7919)
+	}
+	return keys
+}

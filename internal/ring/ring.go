@@ -1,0 +1,141 @@
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per member used when New is
+// given a replica count below one. 256 points per member keep the load
+// share of every member within roughly ±15% of fair for the cluster
+// sizes the serving tier targets (single digits to a few dozen nodes);
+// the balance property test pins concrete bounds.
+const DefaultReplicas = 256
+
+// Ring is a consistent-hash ring: a set of member names, each projected
+// onto the hash circle at `replicas` pseudo-random points, with every
+// key owned by the member whose point follows the key's hash clockwise.
+// The two properties the serving tier leans on, both pinned by tests:
+//
+//   - History independence: the mapping depends only on the current
+//     member set, never on the order members were added or removed — so
+//     every node of a cluster computes the same owner for a digest from
+//     nothing but the shared peer list.
+//   - Minimal remap: adding a member moves onto it only the keys it now
+//     owns and moves nothing between existing members; removing one
+//     moves only the keys it owned. Everything else keeps its owner,
+//     which is what keeps per-node caches warm across membership
+//     changes.
+//
+// A Ring is not safe for concurrent mutation; the serving tier builds
+// one per configuration and only reads it afterwards (reads without
+// concurrent writers are safe).
+type Ring struct {
+	replicas int
+	members  map[string]bool
+	points   []point // sorted by hash, ties by member name
+}
+
+// point is one virtual node: a position on the circle and the member it
+// belongs to.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// New returns an empty ring with the given virtual-node count per
+// member; counts below one use DefaultReplicas.
+func New(replicas int) *Ring {
+	if replicas < 1 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, members: make(map[string]bool)}
+}
+
+// hash64 is the ring's hash: the first 8 bytes of sha256, which is
+// uniform enough that balance needs no salting tricks and stable across
+// processes and architectures (the cross-node agreement requirement).
+func hash64(b []byte) uint64 {
+	sum := sha256.Sum256(b)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// pointHash places virtual node i of a member. The member name and
+// replica index are length-prefixed so distinct (member, i) pairs can
+// never collide as byte strings ("ab"+"1" vs "a"+"b1").
+func pointHash(member string, i int) uint64 {
+	b := make([]byte, 0, len(member)+16)
+	b = binary.AppendUvarint(b, uint64(len(member)))
+	b = append(b, member...)
+	b = strconv.AppendInt(b, int64(i), 10)
+	return hash64(b)
+}
+
+// Add inserts a member; it reports false (and changes nothing) if the
+// member is already present.
+func (r *Ring) Add(member string) bool {
+	if r.members[member] {
+		return false
+	}
+	r.members[member] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: pointHash(member, i), member: member})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return true
+}
+
+// Remove deletes a member; it reports false if the member was not
+// present.
+func (r *Ring) Remove(member string) bool {
+	if !r.members[member] {
+		return false
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Has reports whether member is in the ring.
+func (r *Ring) Has(member string) bool { return r.members[member] }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the member names in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the member owning key: the member of the first virtual
+// node at or clockwise-after the key's hash (wrapping past the top).
+// The boolean is false only on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64([]byte(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member, true
+}

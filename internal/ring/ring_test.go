@@ -1,0 +1,192 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys returns n deterministic keys shaped like the serving tier's
+// routing keys (digest-ish strings).
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return names
+}
+
+func build(t *testing.T, members []string) *Ring {
+	t.Helper()
+	r := New(0)
+	for _, m := range members {
+		if !r.Add(m) {
+			t.Fatalf("duplicate add of %q", m)
+		}
+	}
+	return r
+}
+
+// ownerMap resolves every key on the ring.
+func ownerMap(t *testing.T, r *Ring, keys []string) map[string]string {
+	t.Helper()
+	owners := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %q on a %d-member ring", k, r.Len())
+		}
+		owners[k] = o
+	}
+	return owners
+}
+
+// The balance property: for every cluster size the tier targets, each
+// member's share of a large deterministic key population stays within
+// [0.7, 1.4] of fair. The ring's hashing is deterministic, so these
+// bounds are exact regression pins, not statistical hopes.
+func TestKeyDistributionBalance(t *testing.T) {
+	keys := testKeys(20000)
+	for _, n := range []int{2, 3, 4, 5, 8, 16} {
+		r := build(t, nodeNames(n))
+		counts := make(map[string]int)
+		for _, k := range keys {
+			o, _ := r.Owner(k)
+			counts[o]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		fair := float64(len(keys)) / float64(n)
+		for m, c := range counts {
+			share := float64(c) / fair
+			if share < 0.7 || share > 1.4 {
+				t.Errorf("n=%d: member %s owns %d keys, %.2fx fair share (want within [0.7, 1.4])",
+					n, m, c, share)
+			}
+		}
+	}
+}
+
+// The minimal-remap property, join direction: adding a member must move
+// keys only onto the new member — no key may change hands between
+// pre-existing members — and must take roughly (but never wildly more
+// than) a fair share.
+func TestJoinRemapsOnlyToNewNode(t *testing.T) {
+	keys := testKeys(20000)
+	for _, n := range []int{2, 3, 5, 9} {
+		members := nodeNames(n + 1)
+		r := build(t, members[:n])
+		before := ownerMap(t, r, keys)
+		joined := members[n]
+		r.Add(joined)
+		moved := 0
+		for _, k := range keys {
+			after, _ := r.Owner(k)
+			if after == before[k] {
+				continue
+			}
+			if after != joined {
+				t.Fatalf("n=%d: key %q moved %s -> %s, not to the joining member %s",
+					n, k, before[k], after, joined)
+			}
+			moved++
+		}
+		fair := float64(len(keys)) / float64(n+1)
+		if moved == 0 {
+			t.Errorf("n=%d: join moved no keys", n)
+		}
+		if float64(moved) > 1.5*fair {
+			t.Errorf("n=%d: join moved %d keys, more than 1.5x the fair share %.0f", n, moved, fair)
+		}
+	}
+}
+
+// The minimal-remap property, leave direction: removing a member must
+// move exactly the keys it owned, and nothing else.
+func TestLeaveRemapsOnlyOwnedKeys(t *testing.T) {
+	keys := testKeys(20000)
+	members := nodeNames(5)
+	for _, leaving := range members {
+		r := build(t, members)
+		before := ownerMap(t, r, keys)
+		r.Remove(leaving)
+		for _, k := range keys {
+			after, _ := r.Owner(k)
+			if before[k] == leaving {
+				if after == leaving {
+					t.Fatalf("key %q still owned by removed member %s", k, leaving)
+				}
+				continue
+			}
+			if after != before[k] {
+				t.Fatalf("key %q moved %s -> %s though %s left", k, before[k], after, leaving)
+			}
+		}
+	}
+}
+
+// History independence: the mapping depends only on the member set.
+// A ring that churned through joins and leaves must agree key-for-key
+// with one built directly from its final membership — this is what lets
+// every cluster node derive the same owners from the shared peer list.
+func TestHistoryIndependence(t *testing.T) {
+	keys := testKeys(5000)
+	names := nodeNames(6)
+	churned := New(0)
+	for _, m := range names {
+		churned.Add(m)
+	}
+	churned.Remove(names[1])
+	churned.Remove(names[4])
+	churned.Add(names[1])
+	churned.Remove(names[0])
+	churned.Add(names[4])
+
+	fresh := build(t, churned.Members())
+	for _, k := range keys {
+		a, okA := churned.Owner(k)
+		b, okB := fresh.Owner(k)
+		if okA != okB || a != b {
+			t.Fatalf("key %q: churned ring says %q (%v), fresh ring says %q (%v)", k, a, okA, b, okB)
+		}
+	}
+}
+
+// Degenerate shapes: empty ring, single member, duplicate membership
+// ops.
+func TestEdgeCases(t *testing.T) {
+	r := New(0)
+	if _, ok := r.Owner("anything"); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	if r.Remove("ghost") {
+		t.Error("removed a member that was never added")
+	}
+	r.Add("only:1")
+	if r.Add("only:1") {
+		t.Error("double add reported true")
+	}
+	for _, k := range testKeys(100) {
+		if o, ok := r.Owner(k); !ok || o != "only:1" {
+			t.Fatalf("single-member ring routed %q to %q (%v)", k, o, ok)
+		}
+	}
+	if got := r.Members(); len(got) != 1 || got[0] != "only:1" {
+		t.Errorf("members = %v", got)
+	}
+	r.Remove("only:1")
+	if r.Len() != 0 {
+		t.Errorf("len %d after removing the only member", r.Len())
+	}
+	if _, ok := r.Owner("anything"); ok {
+		t.Error("emptied ring claimed an owner")
+	}
+}

@@ -1,8 +1,9 @@
 // Package serve is the long-running wrapper/TAM solver service: an
 // HTTP/JSON API over coopt.Solve with a bounded worker pool, a
-// digest-keyed LRU result cache, and in-flight deduplication of
-// identical queries (ARCHITECTURE.md §10; endpoint reference in
-// API.md).
+// digest-keyed LRU result cache, in-flight deduplication of identical
+// queries (ARCHITECTURE.md §10; endpoint reference in API.md), and an
+// optional distributed tier that shards the cache across symmetric
+// nodes by consistent-hashing the SOC digest (ARCHITECTURE.md §15).
 //
 // The endpoints are POST /v1/solve (one job), POST /v1/batch (many
 // jobs, answered as NDJSON lines in completion order), GET /v1/solvers
@@ -21,4 +22,10 @@
 // canonical result through the same pure re-indexing step. See
 // ARCHITECTURE.md §10 for the full coherence argument and the
 // worker-pool sizing guidance.
+//
+// With Config.Peers set (wtamd -peers), nodes forward jobs to the
+// digest's ring owner, shed load with 429 + Retry-After when the pool
+// saturates (Config.MaxQueue), degrade to local solves while an owner
+// is down, and replay those jobs to the owner when it recovers. The
+// routing layer lives in router.go; the ring itself in internal/ring.
 package serve

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
@@ -69,6 +71,14 @@ type solveResponse struct {
 	// populating solve's own cost (they differ on cache hits).
 	ElapsedMS float64    `json:"elapsed_ms"`
 	Result    resultJSON `json:"result"`
+	// Node is the cluster node that answered (its host:port ring
+	// identity); empty on a single-node server. A routed request
+	// reports the owner it was forwarded to.
+	Node string `json:"node,omitempty"`
+	// Degraded marks a cluster answer computed locally although another
+	// node owns the digest — the owner was down, so this node fell back
+	// to a local solve (bit-for-bit the same result, colder cache).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // resultJSON is the wire form of a coopt.Result, indexed on the
@@ -145,11 +155,13 @@ type errorBody struct {
 }
 
 // httpError carries a status and machine-readable code alongside the
-// message; every handler failure is one of these.
+// message; every handler failure is one of these. retryAfter, when
+// positive, is surfaced as a Retry-After header (load shedding).
 type httpError struct {
-	status int
-	code   string
-	msg    string
+	status     int
+	code       string
+	msg        string
+	retryAfter int // seconds
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -160,12 +172,22 @@ func badRequest(format string, args ...any) *httpError {
 
 // asHTTPError classifies an error from the solve path. Solver failures
 // are the client's problem statement (infeasible width, power ceiling
-// no schedule fits under), not the server's, hence 422.
+// no schedule fits under), not the server's, hence 422. A shed job maps
+// to 429 with a Retry-After so well-behaved clients back off exactly as
+// long as the pool needs.
 func asHTTPError(err error) *httpError {
 	var he *httpError
+	var ov *OverloadedError
 	switch {
 	case errors.As(err, &he):
 		return he
+	case errors.As(err, &ov):
+		secs := int((ov.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return &httpError{status: http.StatusTooManyRequests, code: "overloaded",
+			msg: err.Error(), retryAfter: secs}
 	case errors.Is(err, ErrShuttingDown):
 		return &httpError{status: http.StatusServiceUnavailable, code: "shutting_down", msg: err.Error()}
 	default:
@@ -186,6 +208,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, he *httpError) {
+	if he.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+	}
 	writeJSON(w, he.status, errorJSON{Error: errorBody{Code: he.code, Message: he.msg}})
 }
 
@@ -261,18 +286,31 @@ func parseJob(req *solveRequest) (*soc.SOC, int, coopt.Options, *httpError) {
 	return s, req.Width, opt, nil
 }
 
+// readBody buffers a request body under the configured cap. The raw
+// bytes are kept because the router forwards them verbatim — a
+// forwarded job is byte-identical to the job the client sent, so the
+// owner parses exactly what this node parsed.
+func (sv *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *httpError) {
+	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.maxBodyBytes())
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, &httpError{status: http.StatusRequestEntityTooLarge, code: "too_large",
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return nil, badRequest("reading request body: %v", err)
+	}
+	return body, nil
+}
+
 // decodeStrict decodes JSON rejecting unknown fields (catching typos
 // like "widht" that would otherwise silently solve the wrong job) and
 // trailing garbage.
-func decodeStrict(r *http.Request, v any) *httpError {
-	dec := json.NewDecoder(r.Body)
+func decodeStrict(body []byte, v any) *httpError {
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return &httpError{status: http.StatusRequestEntityTooLarge, code: "too_large",
-				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
-		}
 		return badRequest("bad request body: %v", err)
 	}
 	if dec.More() {
@@ -314,29 +352,52 @@ func method(want string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 func (sv *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.maxBodyBytes())
-	var req solveRequest
-	if he := decodeStrict(r, &req); he != nil {
-		sv.failed.Add(1) // count like a malformed batch job would be
+	body, he := sv.readBody(w, r)
+	if he == nil {
+		var req solveRequest
+		if he = decodeStrict(body, &req); he == nil {
+			sv.serveSolve(w, r, &req, body)
+			return
+		}
+	}
+	sv.failed.Add(1) // count like a malformed batch job would be
+	writeError(w, he)
+}
+
+// serveSolve is the routed /v1/solve path: parse, forward to the
+// digest's owner when that is another live node, otherwise (owner ==
+// self, already-routed request, or owner down) solve here.
+func (sv *Server) serveSolve(w http.ResponseWriter, r *http.Request, req *solveRequest, body []byte) {
+	s, width, opt, he := parseJob(req)
+	if he != nil {
+		sv.failed.Add(1)
 		writeError(w, he)
 		return
 	}
-	resp, he := sv.solveOne(r, &req)
+	p, degraded := sv.routeFor(r, s.Digest())
+	if p != nil {
+		if sv.forwardSolve(w, r, p, body) {
+			return
+		}
+		degraded = true
+	}
+	if degraded {
+		sv.rt.degraded.Add(1)
+	}
+	resp, he := sv.solveParsed(r, s, width, opt)
 	if he != nil {
 		writeError(w, he)
 		return
 	}
+	resp.Degraded = degraded
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// solveOne runs one parsed request through the service and shapes the
-// response; shared by /v1/solve and each /v1/batch job.
-func (sv *Server) solveOne(r *http.Request, req *solveRequest) (*solveResponse, *httpError) {
-	s, width, opt, he := parseJob(req)
-	if he != nil {
-		sv.failed.Add(1) // parse failures never reach Solve's own counters
-		return nil, he
-	}
+// solveParsed runs one parsed job through the service and shapes the
+// response; shared by /v1/solve, each /v1/batch job and the terminal
+// /v1/stream line. Parse failures are counted by the caller — this is
+// the post-parse half.
+func (sv *Server) solveParsed(r *http.Request, s *soc.SOC, width int, opt coopt.Options) (*solveResponse, *httpError) {
 	res, meta, err := sv.Solve(r.Context(), s, width, opt)
 	if err != nil {
 		if sv.base.Err() != nil {
@@ -351,7 +412,16 @@ func (sv *Server) solveOne(r *http.Request, req *solveRequest) (*solveResponse, 
 		Coalesced: meta.Coalesced,
 		ElapsedMS: float64(meta.Elapsed) / float64(time.Millisecond),
 		Result:    toResultJSON(s, res),
+		Node:      sv.nodeName(),
 	}, nil
+}
+
+// nodeName is this node's ring identity, or "" on a single node.
+func (sv *Server) nodeName() string {
+	if sv.rt == nil {
+		return ""
+	}
+	return sv.rt.self
 }
 
 func toResultJSON(s *soc.SOC, res coopt.Result) resultJSON {
@@ -427,9 +497,14 @@ type batchLine struct {
 }
 
 func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.maxBodyBytes())
+	body, he := sv.readBody(w, r)
+	if he != nil {
+		sv.failed.Add(1)
+		writeError(w, he)
+		return
+	}
 	var req batchRequest
-	if he := decodeStrict(r, &req); he != nil {
+	if he := decodeStrict(body, &req); he != nil {
 		sv.failed.Add(1) // a whole-batch rejection counts once
 		writeError(w, he)
 		return
@@ -456,21 +531,7 @@ func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, raw json.RawMessage) {
 			defer wg.Done()
-			var jr solveRequest
-			dec := json.NewDecoder(strings.NewReader(string(raw)))
-			dec.DisallowUnknownFields()
-			if err := dec.Decode(&jr); err != nil {
-				sv.failed.Add(1)
-				he := badRequest("job %d: %v", i, err)
-				lines <- batchLine{Job: i, Error: &errorBody{Code: he.code, Message: he.msg}}
-				return
-			}
-			resp, he := sv.solveOne(r, &jr)
-			if he != nil {
-				lines <- batchLine{Job: i, Error: &errorBody{Code: he.code, Message: he.msg}}
-				return
-			}
-			lines <- batchLine{Job: i, solveResponse: resp}
+			lines <- sv.batchJob(r, i, raw)
 		}(i, raw)
 	}
 	go func() { wg.Wait(); close(lines) }()
@@ -488,6 +549,47 @@ func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// batchJob answers one batch element, yielding exactly one line
+// whatever the cluster does: a job owned by a live peer is forwarded
+// there (its success or error relays on this job's line), and a peer
+// that cannot answer degrades the job to a local solve — never a lost
+// or duplicated line.
+func (sv *Server) batchJob(r *http.Request, i int, raw json.RawMessage) batchLine {
+	var jr solveRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jr); err != nil {
+		sv.failed.Add(1)
+		he := badRequest("job %d: %v", i, err)
+		return batchLine{Job: i, Error: &errorBody{Code: he.code, Message: he.msg}}
+	}
+	s, width, opt, he := parseJob(&jr)
+	if he != nil {
+		sv.failed.Add(1)
+		return batchLine{Job: i, Error: &errorBody{Code: he.code, Message: he.msg}}
+	}
+	p, degraded := sv.routeFor(r, s.Digest())
+	if p != nil {
+		resp, eb, ok := sv.rt.forwardBatchJob(r.Context(), p, raw)
+		switch {
+		case ok && eb != nil:
+			return batchLine{Job: i, Error: eb}
+		case ok:
+			return batchLine{Job: i, solveResponse: resp}
+		}
+		degraded = true
+	}
+	if degraded {
+		sv.rt.degraded.Add(1)
+	}
+	resp, he := sv.solveParsed(r, s, width, opt)
+	if he != nil {
+		return batchLine{Job: i, Error: &errorBody{Code: he.code, Message: he.msg}}
+	}
+	resp.Degraded = degraded
+	return batchLine{Job: i, solveResponse: resp}
 }
 
 // streamLine is one NDJSON line of the POST /v1/stream response:
@@ -524,9 +626,14 @@ type streamLine struct {
 // error statuses; once streaming begins, failures arrive as a terminal
 // "error" line on the 200 stream.
 func (sv *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.maxBodyBytes())
+	body, he := sv.readBody(w, r)
+	if he != nil {
+		sv.failed.Add(1)
+		writeError(w, he)
+		return
+	}
 	var req solveRequest
-	if he := decodeStrict(r, &req); he != nil {
+	if he := decodeStrict(body, &req); he != nil {
 		sv.failed.Add(1)
 		writeError(w, he)
 		return
@@ -536,6 +643,16 @@ func (sv *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		sv.failed.Add(1)
 		writeError(w, he)
 		return
+	}
+	p, degraded := sv.routeFor(r, s.Digest())
+	if p != nil {
+		if sv.forwardStream(w, r, p, body) {
+			return
+		}
+		degraded = true
+	}
+	if degraded {
+		sv.rt.degraded.Add(1)
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -580,6 +697,8 @@ func (sv *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		Coalesced: meta.Coalesced,
 		ElapsedMS: float64(meta.Elapsed) / float64(time.Millisecond),
 		Result:    toResultJSON(s, res),
+		Node:      sv.nodeName(),
+		Degraded:  degraded,
 	}})
 }
 

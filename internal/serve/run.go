@@ -22,7 +22,10 @@ const shutdownGrace = 5 * time.Second
 // in-flight requests get shutdownGrace to finish, then their solves are
 // cancelled and the connections closed.
 func Run(ctx context.Context, addr string, cfg Config, out io.Writer) error {
-	sv := New(cfg)
+	sv, err := NewCluster(cfg)
+	if err != nil {
+		return err
+	}
 	defer sv.Close()
 
 	ln, err := net.Listen("tcp", addr)
@@ -32,6 +35,10 @@ func Run(ctx context.Context, addr string, cfg Config, out io.Writer) error {
 	fmt.Fprintf(out, "wtamd: listening on http://%s\n", ln.Addr())
 	fmt.Fprintf(out, "wtamd: %d workers x %d solve workers, cache %s\n",
 		sv.cfg.workers(), sv.cfg.solveWorkers(), cacheDesc(sv))
+	if sv.rt != nil {
+		fmt.Fprintf(out, "wtamd: sharding by digest across a ring of %d nodes, self %s\n",
+			sv.rt.ring.Len(), sv.rt.self)
+	}
 	if sv.escq != nil {
 		fmt.Fprintf(out, "wtamd: escalating unproven cache entries (budget %s)\n",
 			sv.cfg.escalateBudget())

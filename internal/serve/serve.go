@@ -73,6 +73,31 @@ type Config struct {
 	// EscalateBudget bounds each escalation attempt via the solver's
 	// own anytime deadline; 0 means DefaultEscalateBudget.
 	EscalateBudget time.Duration
+	// MaxQueue, when positive, turns on admission control: at most
+	// Workers solves run while MaxQueue more may wait for a pool slot;
+	// any further cold job is shed immediately with an OverloadedError
+	// (HTTP: 429 + Retry-After) instead of queuing unboundedly. 0 keeps
+	// the pre-sharding behavior (every job waits as long as its caller
+	// lets it). Cache hits and coalesced followers are never shed — they
+	// consume no pool capacity.
+	MaxQueue int
+	// Peers, when non-empty, makes this node part of a digest-sharded
+	// cluster (ARCHITECTURE.md §15): the full symmetric member list as
+	// host:port addresses (http:// prefixes accepted), this node's own
+	// address included. Jobs whose SOC digest hashes to another member
+	// are forwarded there; jobs owned here are solved here.
+	Peers []string
+	// Self is this node's own address as the other members reach it;
+	// required exactly when Peers is set (it is added to the ring even
+	// if missing from Peers).
+	Self string
+	// PeerTimeout bounds one forwarded request before the router gives
+	// up on the owner and degrades to a local solve; 0 means
+	// DefaultPeerTimeout.
+	PeerTimeout time.Duration
+	// ProbeInterval is the peer health-probe cadence; 0 means
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
 }
 
 func (c Config) workers() int {
@@ -114,6 +139,29 @@ func (c Config) escalateBudget() time.Duration {
 	return c.EscalateBudget
 }
 
+func (c Config) peerTimeout() time.Duration {
+	if c.PeerTimeout <= 0 {
+		return DefaultPeerTimeout
+	}
+	return c.PeerTimeout
+}
+
+func (c Config) probeInterval() time.Duration {
+	if c.ProbeInterval <= 0 {
+		return DefaultProbeInterval
+	}
+	return c.ProbeInterval
+}
+
+// admissionLimit is the occupancy ceiling (running + waiting cold
+// solves) beyond which jobs are shed; 0 disables shedding.
+func (c Config) admissionLimit() int {
+	if c.MaxQueue <= 0 {
+		return 0
+	}
+	return c.workers() + c.MaxQueue
+}
+
 // Server multiplexes coopt.Solve across requests: a bounded worker
 // pool, an LRU cache of canonical results keyed by SOC digest plus
 // normalized options, and in-flight deduplication so concurrent
@@ -132,16 +180,36 @@ type Server struct {
 	flights map[string]*flight // key -> in-flight cold solve
 
 	escq chan escJob // escalation backlog; nil = escalation disabled
+	rt   *router     // digest-sharded routing state; nil = single node
 
 	completed   atomic.Int64 // jobs answered successfully
 	failed      atomic.Int64 // jobs answered with an error
 	inFlight    atomic.Int64 // solves currently holding a pool slot
+	occupancy   atomic.Int64 // cold solves admitted (waiting or running)
+	shed        atomic.Int64 // cold solves rejected by admission control
 	solved      atomic.Int64 // cold solves actually run
 	coalesced   atomic.Int64 // jobs served by waiting on another's solve
 	solveNanos  atomic.Int64 // summed cold-solve wall clock
 	escAttempts atomic.Int64 // escalation solves attempted
 	escalated   atomic.Int64 // cache entries upgraded by escalation
 }
+
+// ErrOverloaded is matched (errors.Is) by the OverloadedError a shed
+// job returns.
+var ErrOverloaded = errors.New("worker pool saturated")
+
+// OverloadedError is the load-shedding rejection: the worker pool and
+// its admission queue (Config.MaxQueue) are both full. RetryAfter is
+// the server's estimate of when capacity frees up; the HTTP layer
+// surfaces it as a 429 with a Retry-After header.
+type OverloadedError struct{ RetryAfter time.Duration }
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%v: retry in %s", ErrOverloaded, e.RetryAfter.Round(time.Second))
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // escJob is one escalation candidate: everything needed to re-solve a
 // cached key exactly. canon is the canonical SOC the cache entry was
@@ -161,8 +229,26 @@ type flight struct {
 	err  error
 }
 
-// New returns a ready Server.
+// New returns a ready Server. It panics on an invalid cluster
+// configuration — use NewCluster when Config.Peers comes from user
+// input and the error should be reported instead.
 func New(cfg Config) *Server {
+	sv, err := NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sv
+}
+
+// NewCluster is New returning peer-configuration errors (an
+// unparsable address, Self without Peers or vice versa) instead of
+// panicking: a bad peer list is a deployment mistake the daemon should
+// print, not a programming bug.
+func NewCluster(cfg Config) (*Server, error) {
+	rt, err := newRouter(cfg)
+	if err != nil {
+		return nil, err
+	}
 	base, cancel := context.WithCancel(context.Background())
 	sv := &Server{
 		cfg:     cfg,
@@ -171,6 +257,7 @@ func New(cfg Config) *Server {
 		cancel:  cancel,
 		started: time.Now(),
 		flights: make(map[string]*flight),
+		rt:      rt,
 	}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
@@ -185,7 +272,10 @@ func New(cfg Config) *Server {
 		sv.escq = make(chan escJob, escalateQueueSize)
 		go sv.escalateLoop()
 	}
-	return sv
+	if sv.rt != nil {
+		go sv.probeLoop()
+	}
+	return sv, nil
 }
 
 // Close cancels every in-flight solve and marks the server done. It is
@@ -300,9 +390,39 @@ func (sv *Server) solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Op
 		sv.failed.Add(1)
 		return coopt.Result{}, meta, err
 	}
+	if sv.rt != nil && !res.Truncated {
+		// If another node owns this digest, this was a degraded (or
+		// routed-in under an inconsistent health view) solve — remember
+		// how to replay it so the owner's cache can be warmed when it
+		// recovers. No-op when this node is the owner.
+		sv.rt.maybeRecordWarm(meta.Key, meta.Digest, canon, width, norm)
+	}
 	meta.Elapsed = time.Since(t0)
 	sv.completed.Add(1)
 	return remapResult(res, perm), meta, nil
+}
+
+// retryAfter estimates when a shed client should come back: the
+// cold-solve queue ahead of it paced at the observed mean solve time
+// across the pool, clamped to [1s, 60s] so the Retry-After header is
+// sane even before the first solve has finished.
+func (sv *Server) retryAfter() time.Duration {
+	avg := 500 * time.Millisecond
+	if n := sv.solved.Load(); n > 0 {
+		avg = time.Duration(sv.solveNanos.Load() / n)
+	}
+	waiting := sv.occupancy.Load() - int64(sv.cfg.workers())
+	if waiting < 1 {
+		waiting = 1
+	}
+	est := time.Duration(float64(avg) * float64(waiting) / float64(sv.cfg.workers()))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
 }
 
 // solveShared deduplicates cold solves: the first caller for a key
@@ -352,8 +472,20 @@ func (sv *Server) solveShared(ctx context.Context, key string, canon *soc.SOC, w
 // solveCold runs one canonical solve on the worker pool. The wait for a
 // slot honors the caller's ctx; the solve itself runs under the
 // server's lifecycle context only, so a started solve always completes
-// (and lands in the cache) unless the server shuts down.
+// (and lands in the cache) unless the server shuts down. With admission
+// control on (Config.MaxQueue), a job that would push the cold-solve
+// occupancy past workers+MaxQueue is shed right here, before it can
+// park on the pool: bounded queueing is what turns overload into fast
+// 429s instead of collapsing latency for everyone.
 func (sv *Server) solveCold(ctx context.Context, canon *soc.SOC, width int, norm coopt.Options) (coopt.Result, error) {
+	if limit := sv.cfg.admissionLimit(); limit > 0 {
+		if sv.occupancy.Add(1) > int64(limit) {
+			sv.occupancy.Add(-1)
+			sv.shed.Add(1)
+			return coopt.Result{}, &OverloadedError{RetryAfter: sv.retryAfter()}
+		}
+		defer sv.occupancy.Add(-1)
+	}
 	select {
 	case sv.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -487,6 +619,33 @@ type Stats struct {
 	Cache CacheStats `json:"cache"`
 	// ThroughputJobsPerSec is completed jobs over uptime.
 	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	// Ring reports the digest-sharding state; nil on a single node.
+	Ring *RingStats `json:"ring,omitempty"`
+}
+
+// RingStats is the /v1/stats view of a cluster node's sharding layer.
+type RingStats struct {
+	// Self is this node's ring identity (normalized host:port).
+	Self string `json:"self"`
+	// Members lists every ring member with its last known health.
+	Members []PeerStatus `json:"members"`
+	// Routed counts requests answered by forwarding to their owner;
+	// RoutedErrors counts forwards that failed (each one degraded).
+	Routed       int64 `json:"routed"`
+	RoutedErrors int64 `json:"routed_errors"`
+	// Degraded counts jobs solved locally although a peer owns their
+	// digest (the owner was down or unreachable).
+	Degraded int64 `json:"degraded"`
+	// WarmPushed counts warm-handoff replays accepted by recovered
+	// owners.
+	WarmPushed int64 `json:"warm_pushed"`
+}
+
+// PeerStatus is one ring member's identity and health.
+type PeerStatus struct {
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+	Up   bool   `json:"up"`
 }
 
 // JobStats counts job outcomes since the server started.
@@ -500,6 +659,10 @@ type JobStats struct {
 	// that shared another job's in-flight solve.
 	Solved    int64 `json:"solved"`
 	Coalesced int64 `json:"coalesced"`
+	// Shed counts cold jobs rejected by admission control (429 +
+	// Retry-After); 0 unless Config.MaxQueue is set. Always present so
+	// load tooling can assert on it.
+	Shed int64 `json:"shed"`
 	// SolveSeconds is the summed wall clock of all cold solves — the
 	// compute the cache and coalescing saved is
 	// (Completed - Solved) / Solved of this, roughly.
@@ -535,6 +698,7 @@ func (sv *Server) Stats() Stats {
 			InFlight:     sv.inFlight.Load(),
 			Solved:       sv.solved.Load(),
 			Coalesced:    sv.coalesced.Load(),
+			Shed:         sv.shed.Load(),
 			SolveSeconds: time.Duration(sv.solveNanos.Load()).Seconds(),
 			Escalations:  sv.escAttempts.Load(),
 			Escalated:    sv.escalated.Load(),
@@ -551,6 +715,25 @@ func (sv *Server) Stats() Stats {
 			Evictions: cs.Evictions,
 			HitRate:   cs.HitRate(),
 		}
+	}
+	if sv.rt != nil {
+		rs := &RingStats{
+			Self:         sv.rt.self,
+			Routed:       sv.rt.routed.Load(),
+			RoutedErrors: sv.rt.routedErrors.Load(),
+			Degraded:     sv.rt.degraded.Load(),
+			WarmPushed:   sv.rt.warmPushed.Load(),
+		}
+		for _, m := range sv.rt.ring.Members() {
+			ps := PeerStatus{Addr: m}
+			if m == sv.rt.self {
+				ps.Self, ps.Up = true, true
+			} else {
+				ps.Up = sv.rt.peers[m].up.Load()
+			}
+			rs.Members = append(rs.Members, ps)
+		}
+		st.Ring = rs
 	}
 	if st.UptimeSeconds > 0 {
 		st.ThroughputJobsPerSec = float64(st.Jobs.Completed) / st.UptimeSeconds

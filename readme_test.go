@@ -76,10 +76,10 @@ func TestReadmeMentionsEveryStrategyName(t *testing.T) {
 	}
 }
 
-// TestReadmeFlagTablesMatchCLIs keeps the README's wtam/wtamd flag
-// tables honest against the commands' actual flag sets: every flag a
-// binary defines must appear as a `-name` in the README, so adding a
-// flag without documenting it fails here.
+// TestReadmeFlagTablesMatchCLIs keeps the README's wtam/wtamd/loadgen
+// flag tables honest against the commands' actual flag sets: every
+// flag a binary defines must appear as a `-name` in the README, so
+// adding a flag without documenting it fails here.
 func TestReadmeFlagTablesMatchCLIs(t *testing.T) {
 	raw, err := os.ReadFile("README.md")
 	if err != nil {
@@ -87,7 +87,7 @@ func TestReadmeFlagTablesMatchCLIs(t *testing.T) {
 	}
 	readme := string(raw)
 	flagDef := regexp.MustCompile(`flags\.(?:String|Int|Int64|Bool|Duration|Float64)\("([^"]+)"`)
-	for _, cmd := range []string{"wtam", "wtamd"} {
+	for _, cmd := range []string{"wtam", "wtamd", "loadgen"} {
 		src, err := os.ReadFile(filepath.Join("cmd", cmd, "main.go"))
 		if err != nil {
 			t.Fatal(err)
