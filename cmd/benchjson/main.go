@@ -13,9 +13,13 @@
 //	benchjson -print           # dump the comparison table without gating
 //
 // The gate fails on a >10% wall-time regression (tunable with
-// -time-tolerance) or on ANY allocs/op regression: allocation counts are
-// deterministic, so even +1 alloc/op is a real code change, while time
-// is noisy and gets slack. Because ns/op depends on the recording
+// -time-tolerance) or on any allocs/op regression beyond 0.01% of the
+// recorded count: allocation counts are deterministic to that
+// precision, so +1 alloc/op on a lean bench is a real code change,
+// while time is noisy and gets slack. (The 0.01% slack exists for the
+// 100k+-alloc ILP bench, whose count jitters by a handful with the map
+// hash seed; integer arithmetic keeps every bench under 10k allocs
+// gated exactly.) Because ns/op depends on the recording
 // machine, every entry also stores the time of a fixed deterministic
 // calibration workload measured in-process; comparisons scale the old
 // entry's times by the calibration ratio, so a slower CI runner does not
@@ -64,10 +68,10 @@ import (
 
 // defaultBench selects the trajectory benchmarks: the root per-SOC ×
 // per-strategy solve set plus the hot-path primitive benches.
-const defaultBench = "^(BenchmarkSolve$|BenchmarkILP$|BenchmarkCoreAssignP93791$|BenchmarkTimeTableP93791$|BenchmarkDesignWrapperS38584$|BenchmarkPartitionScoring|BenchmarkSkylinePlacement|BenchmarkWrapperCurve|BenchmarkPowerTimeline)"
+const defaultBench = "^(BenchmarkSolve$|BenchmarkILP$|BenchmarkCoreAssignP93791$|BenchmarkTimeTableP93791$|BenchmarkDesignWrapperS38584$|BenchmarkPartitionScoring|BenchmarkSkylinePlacement|BenchmarkWrapperCurve|BenchmarkPowerTimeline|BenchmarkObs)"
 
 // defaultPackages are the packages holding trajectory benchmarks.
-const defaultPackages = ".,./internal/coopt,./internal/pack,./internal/wrapper"
+const defaultPackages = ".,./internal/coopt,./internal/pack,./internal/wrapper,./internal/obs"
 
 func main() {
 	var (
@@ -441,8 +445,15 @@ func compare(prev, cur *Entry, tol float64, allowMissing bool) ([]deltaRow, []st
 			scaledOld := old.NsOp * scale
 			rows = append(rows, deltaRow{name: n, oldNs: scaledOld, newNs: now.NsOp,
 				oldAllocs: old.AllocsOp, nAllocs: now.AllocsOp, oldB: old.BOp, nB: now.BOp})
-			if now.AllocsOp > old.AllocsOp {
-				regressions = append(regressions, fmt.Sprintf("%s: allocs/op %d -> %d (any increase fails)", n, old.AllocsOp, now.AllocsOp))
+			// Any alloc increase fails, with one carve-out: counts are
+			// reproducible only to ~10^-4 on the very largest benches
+			// (the ILP engine's 138k allocs/op jitter by a handful with
+			// the map hash seed), so increases within 0.01% of a
+			// 10k+-alloc baseline are noise, not a code change. The
+			// integer floor keeps every bench under 10k allocs — all
+			// the zero-alloc hot-path pins included — exactly gated.
+			if now.AllocsOp > old.AllocsOp+old.AllocsOp/10000 {
+				regressions = append(regressions, fmt.Sprintf("%s: allocs/op %d -> %d (any increase beyond 0.01%% fails)", n, old.AllocsOp, now.AllocsOp))
 			}
 			if now.NsOp > scaledOld*(1+tol) {
 				regressions = append(regressions, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",

@@ -23,10 +23,15 @@
 //
 // Every scenario reports request count, error and shed (HTTP 429)
 // counts, the observed cache-hit fraction, throughput, and latency
-// percentiles. The report ends with the server's own /v1/stats
-// snapshot, so a cluster run also records routing and degradation
-// counters. A shed request is honored: the worker backs off for the
-// server's Retry-After (capped at one second) before continuing.
+// percentiles. With -metrics (the default) each scenario also scrapes
+// the server's GET /metrics exposition before and after the run and
+// reports server-side p50/p95 from the /v1/solve latency-histogram
+// delta — the gap between the client's and the server's p95 is the
+// network and queueing overhead the server never saw. The report ends
+// with the server's own /v1/stats snapshot, so a cluster run also
+// records routing and degradation counters. A shed request is honored:
+// the worker backs off for the server's Retry-After (fractional
+// seconds respected, capped at one second) before continuing.
 package main
 
 import (
@@ -35,9 +40,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -78,6 +85,13 @@ type scenarioResult struct {
 	P50MS         float64 `json:"p50_ms"`
 	P95MS         float64 `json:"p95_ms"`
 	P99MS         float64 `json:"p99_ms"`
+	// ServerP50MS/ServerP95MS are the server's own view of this
+	// scenario's /v1/solve latency: the GET /metrics histogram delta
+	// between a scrape before and after the run, interpolated within
+	// buckets. Client p95 minus server p95 is the network + queueing
+	// overhead. Absent when -metrics is off or the scrape failed.
+	ServerP50MS float64 `json:"server_p50_ms,omitempty"`
+	ServerP95MS float64 `json:"server_p95_ms,omitempty"`
 }
 
 // report is the BENCH_serve.json schema.
@@ -102,6 +116,7 @@ func run(args []string, out io.Writer) error {
 		widths      = flags.String("widths", "16,24,32,48", "comma-separated TAM widths to request")
 		seed        = flags.Int64("seed", 1, "RNG seed for job choice (same seed, same request sequence)")
 		outPath     = flags.String("out", "BENCH_serve.json", "report file to write")
+		metricsOn   = flags.Bool("metrics", true, "scrape GET /metrics around each scenario and report the server's own latency percentiles from the histogram delta")
 	)
 	if err := flags.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -154,9 +169,25 @@ func run(args []string, out io.Writer) error {
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		fmt.Fprintf(out, "loadgen: scenario %s for %s against %s\n", name, *duration, base)
+		var before histSnapshot
+		if *metricsOn {
+			var err error
+			if before, err = scrapeSolveHist(base); err != nil {
+				fmt.Fprintf(out, "loadgen: could not scrape /metrics: %v (server-side percentiles skipped)\n", err)
+				*metricsOn = false
+			}
+		}
 		res := runScenario(name, base, jobs, *concurrency, *duration, *seed)
-		fmt.Fprintf(out, "loadgen: %s: %d requests, %.1f req/s, hit rate %.2f, p95 %.1fms, %d shed, %d errors\n",
-			name, res.Requests, res.ThroughputRPS, res.HitRate, res.P95MS, res.Shed, res.Errors)
+		if *metricsOn {
+			if after, err := scrapeSolveHist(base); err != nil {
+				fmt.Fprintf(out, "loadgen: could not scrape /metrics: %v (server-side percentiles skipped)\n", err)
+			} else {
+				res.ServerP50MS = histPercentile(before, after, 0.50)
+				res.ServerP95MS = histPercentile(before, after, 0.95)
+			}
+		}
+		fmt.Fprintf(out, "loadgen: %s: %d requests, %.1f req/s, hit rate %.2f, p95 %.1fms (server %.1fms), %d shed, %d errors\n",
+			name, res.Requests, res.ThroughputRPS, res.HitRate, res.P95MS, res.ServerP95MS, res.Shed, res.Errors)
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
 
@@ -287,9 +318,11 @@ func doRequest(client *http.Client, base, body string) sample {
 	}
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
+		// ParseFloat, not Atoi: a fractional Retry-After ("0.25") must
+		// back off 250ms, not be rejected and replaced by the full cap.
 		backoff := time.Second
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
-			if d := time.Duration(secs) * time.Second; d < backoff {
+		if secs, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil && secs >= 0 {
+			if d := time.Duration(secs * float64(time.Second)); d < backoff {
 				backoff = d
 			}
 		}
@@ -315,6 +348,105 @@ func percentile(sorted []float64, p float64) float64 {
 	}
 	i := int(p * float64(len(sorted)-1))
 	return sorted[i]
+}
+
+// histSnapshot is one scrape of the server's /v1/solve latency
+// histogram: cumulative observation counts per upper bound, sorted by
+// bound ascending, with the +Inf bucket last.
+type histSnapshot struct {
+	le  []float64 // bucket upper bounds in seconds; last is +Inf
+	cum []uint64  // cumulative counts, aligned with le
+}
+
+// solveBucketRE matches one exposition line of the /v1/solve latency
+// histogram; group 1 is the le bound, group 2 the cumulative count.
+var solveBucketRE = regexp.MustCompile(`^soctam_http_request_seconds_bucket\{route="/v1/solve",le="([^"]+)"\} (\d+)$`)
+
+// scrapeSolveHist fetches GET /metrics and extracts the /v1/solve
+// latency histogram. Exposition order (ascending le) is preserved.
+func scrapeSolveHist(base string) (histSnapshot, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return histSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return histSnapshot{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return histSnapshot{}, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	var h histSnapshot
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := solveBucketRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		le := math.Inf(1)
+		if m[1] != "+Inf" {
+			if le, err = strconv.ParseFloat(m[1], 64); err != nil {
+				return histSnapshot{}, fmt.Errorf("bad le %q in %q", m[1], line)
+			}
+		}
+		n, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			return histSnapshot{}, fmt.Errorf("bad count in %q", line)
+		}
+		h.le = append(h.le, le)
+		h.cum = append(h.cum, n)
+	}
+	if len(h.le) == 0 {
+		return histSnapshot{}, fmt.Errorf("no /v1/solve latency buckets in exposition")
+	}
+	return h, nil
+}
+
+// histPercentile reads the q-quantile in milliseconds from the
+// observations the server recorded between two scrapes, interpolating
+// linearly within the bucket the quantile rank lands in (the standard
+// histogram-quantile estimate). Observations in the +Inf bucket clamp
+// to the largest finite bound. Returns 0 when the delta is empty or
+// the scrapes are incompatible (server restarted mid-run).
+func histPercentile(before, after histSnapshot, q float64) float64 {
+	if len(before.le) != len(after.le) {
+		return 0
+	}
+	n := len(after.le)
+	delta := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if before.le[i] != after.le[i] || after.cum[i] < before.cum[i] {
+			return 0
+		}
+		delta[i] = after.cum[i] - before.cum[i]
+	}
+	total := delta[n-1] // +Inf bucket is cumulative over everything
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	for i := 0; i < n; i++ {
+		if float64(delta[i]) < rank {
+			continue
+		}
+		lower, lowerCount := 0.0, uint64(0)
+		if i > 0 {
+			lower, lowerCount = after.le[i-1], delta[i-1]
+		}
+		upper := after.le[i]
+		if math.IsInf(upper, 1) {
+			// Past the largest finite bound there is nothing to
+			// interpolate against; clamp like Prometheus does.
+			return lower * 1000
+		}
+		inBucket := float64(delta[i] - lowerCount)
+		if inBucket <= 0 {
+			return upper * 1000
+		}
+		return (lower + (upper-lower)*(rank-float64(lowerCount))/inBucket) * 1000
+	}
+	return after.le[n-1] * 1000
 }
 
 // fetchStats snapshots the target's /v1/stats body.

@@ -3,11 +3,14 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"soctam/internal/serve"
 )
@@ -87,6 +90,15 @@ func TestLoadgenWritesReport(t *testing.T) {
 	if rep.Scenarios[0].Requests > 10 && rep.Scenarios[0].HitRate == 0 {
 		t.Errorf("zipfian hit rate = 0 over %d requests", rep.Scenarios[0].Requests)
 	}
+	// -metrics defaults on and the target serves /metrics: every scenario
+	// that made requests must carry server-side percentiles from the
+	// histogram delta.
+	for _, sc := range rep.Scenarios {
+		if sc.Requests > 0 && (sc.ServerP50MS <= 0 || sc.ServerP95MS < sc.ServerP50MS) {
+			t.Errorf("scenario %q server percentiles p50=%v p95=%v over %d requests",
+				sc.Name, sc.ServerP50MS, sc.ServerP95MS, sc.Requests)
+		}
+	}
 	if len(rep.ServerStats) == 0 {
 		t.Error("report carries no server stats snapshot")
 	}
@@ -99,5 +111,88 @@ func TestLoadgenWritesReport(t *testing.T) {
 	}
 	if !strings.Contains(log.String(), "loadgen: wrote "+outPath) {
 		t.Errorf("no report announcement in log:\n%s", log.String())
+	}
+}
+
+func TestHistPercentile(t *testing.T) {
+	inf := math.Inf(1)
+	le := []float64{0.1, 0.2, 0.4, inf}
+	snap := func(cum ...uint64) histSnapshot { return histSnapshot{le: le, cum: cum} }
+	before := snap(0, 0, 0, 0)
+
+	// 10 observations spread 4/4/2 over the finite buckets: the median
+	// rank (5) lands in the second bucket, 1/4 of the way in.
+	after := snap(4, 8, 10, 10)
+	if got, want := histPercentile(before, after, 0.5), (0.1+0.1*0.25)*1000; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	// All mass beyond the largest finite bound clamps there.
+	if got := histPercentile(before, snap(0, 0, 0, 5), 0.5); got != 400 {
+		t.Errorf("+Inf-bucket p50 = %v, want 400", got)
+	}
+	// A scrape pair with no observations in between reports nothing.
+	if got := histPercentile(after, after, 0.95); got != 0 {
+		t.Errorf("empty delta p95 = %v, want 0", got)
+	}
+	// A counter that went backwards (server restart) is rejected.
+	if got := histPercentile(after, before, 0.5); got != 0 {
+		t.Errorf("reset delta p50 = %v, want 0", got)
+	}
+	// Deltas only: the before-counts must be subtracted per bucket.
+	shifted := snap(104, 108, 110, 110)
+	if got, want := histPercentile(snap(100, 100, 100, 100), shifted, 0.5), (0.1+0.1*0.25)*1000; math.Abs(got-want) > 1e-9 {
+		t.Errorf("shifted p50 = %v, want %v", got, want)
+	}
+}
+
+func TestScrapeSolveHist(t *testing.T) {
+	exposition := `# TYPE soctam_http_request_seconds histogram
+soctam_http_request_seconds_bucket{route="/v1/solve",le="0.1"} 3
+soctam_http_request_seconds_bucket{route="/v1/solve",le="+Inf"} 7
+soctam_http_request_seconds_bucket{route="/v1/stats",le="0.1"} 99
+soctam_http_request_seconds_sum{route="/v1/solve"} 1.5
+`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, exposition)
+	}))
+	defer ts.Close()
+	h, err := scrapeSolveHist(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.le) != 2 || h.le[0] != 0.1 || !math.IsInf(h.le[1], 1) {
+		t.Errorf("bounds = %v (other routes must be excluded)", h.le)
+	}
+	if h.cum[0] != 3 || h.cum[1] != 7 {
+		t.Errorf("counts = %v, want [3 7]", h.cum)
+	}
+
+	empty := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer empty.Close()
+	if _, err := scrapeSolveHist(empty.URL); err == nil {
+		t.Error("exposition without solve buckets accepted")
+	}
+}
+
+// TestRetryAfterFractional pins the backoff parser: a fractional
+// Retry-After must be slept out as-is, not rejected (which would
+// substitute the full one-second cap).
+func TestRetryAfterFractional(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0.2")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	t0 := time.Now()
+	s := doRequest(http.DefaultClient, ts.URL, `{}`)
+	elapsed := time.Since(t0)
+	if !s.shed {
+		t.Fatalf("429 not classified as shed: %+v", s)
+	}
+	if elapsed < 200*time.Millisecond {
+		t.Errorf("backoff %v shorter than the advertised 0.2s", elapsed)
+	}
+	if elapsed >= time.Second {
+		t.Errorf("backoff %v hit the 1s cap; fractional value was not honored", elapsed)
 	}
 }

@@ -30,7 +30,11 @@
 // the only way the exponential exhaustive engine joins a race. Ties go
 // to the earlier-registered backend whatever the spec's order.
 // -progress streams solver events (backend start/finish/cancellation,
-// incumbent improvements) to stderr while the solve runs. -workers
+// incumbent improvements) to stderr while the solve runs. -trace
+// records the same events as a span tree — one child span per backend,
+// incumbent improvements as timestamped events — and prints it to
+// stderr once the solve returns (with -strategy portfolio the tree
+// shows the whole race; see ARCHITECTURE.md §16). -workers
 // parallelizes partition evaluation (0 = all CPUs, 1 = the paper's
 // sequential order). -max-power imposes a peak-power ceiling on
 // concurrently running tests (0 uses the SOC's own maxpower attribute;
@@ -94,6 +98,7 @@ func run(args []string) error {
 		maxPower   = flags.Int("max-power", 0, "peak-power ceiling on concurrent tests (0 = the SOC's own maxpower, if any)")
 		deadline   = flags.Duration("deadline", 0, "wall-clock budget for the solve; past it the best incumbent so far is returned with its optimality gap (0 = unbounded)")
 		progress   = flags.Bool("progress", false, "stream solver progress (backend lifecycle, incumbent improvements) to stderr while solving")
+		trace      = flags.Bool("trace", false, "record the solve as a span tree (one child span per backend, incumbents as events) and print it to stderr afterwards")
 		verbose    = flags.Bool("v", false, "print per-core wrapper usage on the chosen architecture")
 		gantt      = flags.Bool("gantt", false, "print the test schedule as a Gantt chart with utilization")
 		serveAddr  = flags.String("serve", "", "run as the solver service on this address instead of solving (escape hatch for cmd/wtamd)")
@@ -143,6 +148,30 @@ func run(args []string) error {
 	if *progress {
 		opt.Progress = progressPrinter(os.Stderr)
 	}
+	var st *soctam.SolveTrace
+	if *trace {
+		name := *benchmark
+		if name == "" {
+			name = *socPath
+		}
+		st = soctam.NewSolveTrace(name)
+		hook, prev := st.Hook(), opt.Progress
+		opt.Progress = hook
+		if prev != nil {
+			// Both consumers see every event; the trace records first so
+			// its clock reads are not skewed by printing.
+			opt.Progress = func(ev soctam.ProgressEvent) { hook(ev); prev(ev) }
+		}
+	}
+	// finishTrace closes the trace with the solve's outcome and prints
+	// the span tree; call it right after every solve, error or not.
+	finishTrace := func(res soctam.Result, err error) {
+		if st == nil {
+			return
+		}
+		st.Finish(res, err)
+		st.WriteTree(os.Stderr)
+	}
 	strat, subset, err := soctam.ParseStrategySpec(*strategy)
 	if err != nil {
 		// The spec parser's error lists every valid strategy/backend name.
@@ -161,6 +190,7 @@ func run(args []string) error {
 			return err
 		}
 		res, err := soctam.Solve(s, *width, opt)
+		finishTrace(res, err)
 		if err != nil {
 			return err
 		}
@@ -175,6 +205,7 @@ func run(args []string) error {
 			return err
 		}
 		res, err := soctam.Solve(s, *width, opt)
+		finishTrace(res, err)
 		if err != nil {
 			return err
 		}
@@ -190,6 +221,7 @@ func run(args []string) error {
 			return err
 		}
 		res, err := soctam.Solve(s, *width, opt)
+		finishTrace(res, err)
 		if err != nil {
 			return err
 		}
@@ -203,6 +235,7 @@ func run(args []string) error {
 			return err
 		}
 		res, err := soctam.Solve(s, *width, opt)
+		finishTrace(res, err)
 		if err != nil {
 			return err
 		}
@@ -236,6 +269,7 @@ func run(args []string) error {
 	default:
 		res, err = soctam.CoOptimize(s, *width, opt)
 	}
+	finishTrace(res, err)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,6 +35,34 @@ func TestHelpAndParseErrors(t *testing.T) {
 	}
 	if err := run([]string{"-no-such-flag"}); !errors.Is(err, errBadFlags) {
 		t.Errorf("run(-no-such-flag) = %v, want errBadFlags", err)
+	}
+}
+
+// TestTracePrintsSpanTree runs a real solve with -trace and asserts
+// the span tree lands on stderr: a trace header named after the
+// benchmark, a root span and the solve's strategy attribute.
+func TestTracePrintsSpanTree(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stderr
+	os.Stderr = w
+	runErr := run([]string{"-benchmark", "d695", "-width", "16", "-trace"})
+	os.Stderr = orig
+	w.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", runErr, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"trace d695", "solve", "strategy=partition"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -44,7 +44,11 @@
 // NDJSON lines in completion order), POST /v1/stream (one job, progress
 // events and incumbent improvements as NDJSON while it solves), GET
 // /v1/solvers (the registered backends and their capability flags), GET
-// /v1/healthz, GET /v1/stats.
+// /v1/healthz, GET /v1/stats, GET /metrics (Prometheus text
+// exposition; /v1/stats is a JSON view over the same registry, so the
+// two can never disagree). -pprof additionally exposes the Go runtime
+// profiler under GET /debug/pprof/ — off by default, and meant for
+// trusted networks only.
 package main
 
 import (
@@ -89,6 +93,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		self           = flags.String("self", "", "this node's own host:port entry in -peers (its ring identity)")
 		maxQueue       = flags.Int("max-queue", 0, "queued jobs admitted per node beyond the running workers before shedding with 429 (0 = unbounded)")
 		peerTimeout    = flags.Duration("peer-timeout", 0, "timeout for one forwarded request before degrading to a local solve (0 = 30s)")
+		pprofOn        = flags.Bool("pprof", false, "expose the runtime profiler under GET /debug/pprof/ (off by default; enable only on trusted networks)")
 	)
 	if err := flags.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -125,5 +130,6 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Peers:          peerList,
 		Self:           *self,
 		PeerTimeout:    *peerTimeout,
+		Pprof:          *pprofOn,
 	}, out)
 }

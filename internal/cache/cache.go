@@ -15,11 +15,33 @@ type LRU[K comparable, V any] struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	hooks     Hooks
 }
 
 type entry[K comparable, V any] struct {
 	key K
 	val V
+}
+
+// Hooks are optional callbacks fired on cache events, for mirroring the
+// counters into an external metrics registry. Each hook runs under the
+// LRU's own mutex, synchronously with the internal counter update, so a
+// mirror can never drift from Stats — the two increment or neither
+// does. Hooks must therefore be cheap and must not call back into the
+// cache. Nil members are skipped.
+type Hooks struct {
+	Hit   func()
+	Miss  func()
+	Evict func()
+}
+
+// SetHooks installs the event hooks, replacing any previous set. Not
+// for concurrent use with cache operations — install once, right after
+// New.
+func (l *LRU[K, V]) SetHooks(h Hooks) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hooks = h
 }
 
 // New returns an empty LRU holding at most capacity entries; a
@@ -45,10 +67,16 @@ func (l *LRU[K, V]) Get(key K) (V, bool) {
 	el, ok := l.items[key]
 	if !ok {
 		l.misses++
+		if l.hooks.Miss != nil {
+			l.hooks.Miss()
+		}
 		var zero V
 		return zero, false
 	}
 	l.hits++
+	if l.hooks.Hit != nil {
+		l.hooks.Hit()
+	}
 	l.order.MoveToFront(el)
 	return el.Value.(*entry[K, V]).val, true
 }
@@ -68,6 +96,9 @@ func (l *LRU[K, V]) Put(key K, val V) {
 		l.order.Remove(oldest)
 		delete(l.items, oldest.Value.(*entry[K, V]).key)
 		l.evictions++
+		if l.hooks.Evict != nil {
+			l.hooks.Evict()
+		}
 	}
 	l.items[key] = l.order.PushFront(&entry[K, V]{key: key, val: val})
 }

@@ -1,0 +1,131 @@
+package coopt
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"soctam/internal/obs"
+)
+
+func TestSolveObservedRecordsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	res, err := SolveObserved(context.Background(), testSOC(), 16, Options{}, m)
+	if err != nil {
+		t.Fatalf("SolveObserved: %v", err)
+	}
+	strat := Options{}.Strategy.String()
+	if got := m.solves.With(strat).Value(); got != 1 {
+		t.Errorf("solves{%s} = %d, want 1", strat, got)
+	}
+	if got := m.seconds.With(strat).Count(); got != 1 {
+		t.Errorf("solve_seconds count = %d, want 1", got)
+	}
+	if got := m.gap.With(strat).Count(); got != 1 {
+		t.Errorf("gap count = %d, want 1", got)
+	}
+	if res.Stats.Enumerated > 0 {
+		if got := m.partitions.With(strat, "enumerated").Value(); got != uint64(res.Stats.Enumerated) {
+			t.Errorf("partitions{enumerated} = %d, want %d", got, res.Stats.Enumerated)
+		}
+	}
+	if res.Stats.Improved > 0 {
+		if got := m.incumbents.With(strat).Value(); got == 0 {
+			t.Error("incumbents never counted despite Stats.Improved > 0")
+		}
+	}
+	if got := m.errors.With(strat).Value(); got != 0 {
+		t.Errorf("errors = %d, want 0", got)
+	}
+}
+
+func TestSolveObservedNilMetrics(t *testing.T) {
+	plain, err := SolveContext(context.Background(), testSOC(), 16, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := SolveObserved(context.Background(), testSOC(), 16, Options{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Time != observed.Time || plain.NumTAMs != observed.NumTAMs {
+		t.Errorf("nil-metrics SolveObserved diverged: %d/%d vs %d/%d",
+			observed.Time, observed.NumTAMs, plain.Time, plain.NumTAMs)
+	}
+}
+
+func TestSolveObservedResultIdentical(t *testing.T) {
+	reg := obs.NewRegistry()
+	plain, err := SolveContext(context.Background(), testSOC(), 16, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := SolveObserved(context.Background(), testSOC(), 16, Options{Workers: 1}, NewMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Time != observed.Time || plain.Gap != observed.Gap {
+		t.Errorf("instrumented solve diverged: time %d gap %v vs %d %v",
+			observed.Time, observed.Gap, plain.Time, plain.Gap)
+	}
+}
+
+func TestSolveObservedCountsErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	opt := Options{Strategy: StrategyPortfolio, Portfolio: "no-such-backend"}
+	if _, err := SolveObserved(context.Background(), testSOC(), 16, opt, m); err == nil {
+		t.Fatal("expected error for bogus portfolio subset")
+	}
+	strat := StrategyPortfolio.String()
+	if got := m.errors.With(strat).Value(); got != 1 {
+		t.Errorf("errors{%s} = %d, want 1", strat, got)
+	}
+	if got := m.solves.With(strat).Value(); got != 0 {
+		t.Errorf("solves{%s} = %d, want 0 (errors are not solves)", strat, got)
+	}
+}
+
+// TestSolveObservedChainsProgress checks the caller's own Progress hook
+// still fires behind the metrics hook.
+func TestSolveObservedChainsProgress(t *testing.T) {
+	reg := obs.NewRegistry()
+	var events int
+	opt := Options{Workers: 1, Progress: func(ProgressEvent) { events++ }}
+	if _, err := SolveObserved(context.Background(), testSOC(), 16, opt, NewMetrics(reg)); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Error("caller's Progress hook never fired through the metrics chain")
+	}
+}
+
+func TestSolveTraceTree(t *testing.T) {
+	st := NewSolveTrace("mini w=16")
+	opt := Options{Strategy: StrategyPortfolio, Workers: 1, Progress: st.Hook()}
+	res, err := SolveContext(context.Background(), testSOC(), 16, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Finish(res, err)
+	var sb strings.Builder
+	st.WriteTree(&sb)
+	tree := sb.String()
+	if !strings.Contains(tree, "trace mini w=16") {
+		t.Errorf("missing header:\n%s", tree)
+	}
+	if !strings.Contains(tree, "solve [") {
+		t.Errorf("missing root span:\n%s", tree)
+	}
+	// Every racing backend gets a span; the winner's name appears.
+	if !strings.Contains(tree, res.Strategy.String()+" [") {
+		t.Errorf("missing winner span %q:\n%s", res.Strategy, tree)
+	}
+	if !strings.Contains(tree, "strategy="+res.Strategy.String()) {
+		t.Errorf("root missing strategy attr:\n%s", tree)
+	}
+	if !strings.Contains(tree, "incumbent ") {
+		t.Errorf("no incumbent events recorded:\n%s", tree)
+	}
+}

@@ -1,0 +1,20 @@
+// Package obs is the repo's observability kernel: a dependency-free,
+// race-safe metrics registry (counters, gauges and fixed-bucket
+// histograms whose update paths are single atomic operations — zero
+// allocations, pinned by AllocsPerRun tests), a hand-rolled Prometheus
+// text-exposition (v0.0.4) encoder over the registry's snapshot, and a
+// span tracer for rendering one solve's backend lifecycle as a tree.
+//
+// The registry is the single source of truth for every runtime counter
+// the serving layer exposes: GET /metrics encodes it and GET /v1/stats
+// reads the very same handles, so the two surfaces cannot disagree (see
+// ARCHITECTURE.md §16). Handle getters are get-or-create and idempotent
+// — registering an existing name with the same type, help and labels
+// returns the existing handle, so writers and readers share state by
+// construction; re-registering with a different shape panics (a
+// programming bug, not an input error).
+//
+// The package deliberately imports nothing beyond the standard library
+// and nothing from this repo, so every layer (solver, cache, ring,
+// serve, CLIs) can depend on it without cycles.
+package obs

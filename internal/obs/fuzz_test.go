@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzNamesAndValues feeds arbitrary metric names, label names and
+// label values through registration and the text encoder. Invalid
+// names must panic at registration (never produce malformed output);
+// valid ones must encode to exactly one sample line whose escaped label
+// value round-trips back to the original.
+func FuzzNamesAndValues(f *testing.F) {
+	f.Add("soctam_requests_total", "route", "/v1/solve")
+	f.Add("a:b_total", "strategy", `back\slash and "quotes"`)
+	f.Add("_x", "_y", "multi\nline")
+	f.Add("", "le", "")
+	f.Add("9bad", "__reserved", "x")
+	f.Fuzz(func(t *testing.T, name, label, value string) {
+		valid := ValidMetricName(name) && ValidLabelName(label)
+		r := NewRegistry()
+		var vec CounterVec
+		panicked := func() (p bool) {
+			defer func() { p = recover() != nil }()
+			vec = r.CounterVec(name, "help", label)
+			return false
+		}()
+		if panicked != !valid {
+			t.Fatalf("registration panic=%v for name %q label %q (valid=%v)", panicked, name, label, valid)
+		}
+		if !valid {
+			return
+		}
+		vec.With(value).Inc()
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+		// HELP, TYPE, one sample — escaping must keep the sample on one
+		// line no matter what bytes the label value holds.
+		if len(lines) != 3 {
+			t.Fatalf("expected 3 lines, got %d:\n%s", len(lines), buf.String())
+		}
+		sample := lines[2]
+		prefix := name + "{" + label + `="`
+		suffix := `"} 1`
+		if !strings.HasPrefix(sample, prefix) || !strings.HasSuffix(sample, suffix) {
+			t.Fatalf("malformed sample line %q", sample)
+		}
+		escaped := sample[len(prefix) : len(sample)-len(suffix)]
+		if got := unescapeLabelValue(escaped); got != value {
+			t.Fatalf("label value %q round-tripped to %q (escaped %q)", value, got, escaped)
+		}
+	})
+}
+
+// unescapeLabelValue inverts escapeLabelValue for the fuzz round-trip.
+func unescapeLabelValue(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

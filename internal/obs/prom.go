@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteText encodes the registry's current state in the Prometheus text
+// exposition format, version 0.0.4: per family a # HELP line, a # TYPE
+// line, then one sample line per child (histograms expand to cumulative
+// _bucket series ending at le="+Inf", plus _sum and _count). Families
+// are emitted sorted by name and children by label values, so output is
+// deterministic for a fixed registry state.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Type.String())
+		bw.WriteByte('\n')
+		for _, m := range f.Metrics {
+			switch f.Type {
+			case TypeHistogram:
+				for i, bound := range f.Buckets {
+					writeSample(bw, f.Name+"_bucket", f.Labels, m.LabelValues, "le", formatBound(bound), formatUint(m.CumulativeCounts[i]))
+				}
+				writeSample(bw, f.Name+"_bucket", f.Labels, m.LabelValues, "le", "+Inf", formatUint(m.Count))
+				writeSample(bw, f.Name+"_sum", f.Labels, m.LabelValues, "", "", formatFloat(m.Sum))
+				writeSample(bw, f.Name+"_count", f.Labels, m.LabelValues, "", "", formatUint(m.Count))
+			case TypeCounter:
+				// Counters keep the exact integer; float formatting
+				// would corrupt counts past 2^53.
+				writeSample(bw, f.Name, f.Labels, m.LabelValues, "", "", formatUint(m.CounterValue))
+			default:
+				writeSample(bw, f.Name, f.Labels, m.LabelValues, "", "", formatFloat(m.Value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line. extraName/extraValue
+// append a synthetic label (the histogram "le") after the family's own.
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraName, extraValue, rendered string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(extraValue)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(rendered)
+	bw.WriteByte('\n')
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes
+// are legal in HELP text). Iterates bytes, not runes, so arbitrary
+// (even invalid-UTF-8) input survives unchanged.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value: backslash, double quote and
+// newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// formatBound renders a histogram bucket bound the way Prometheus
+// clients do: shortest round-trip representation.
+func formatBound(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }

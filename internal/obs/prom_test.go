@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.prom from the current encoder")
+
+// goldenRegistry builds the fixture registry the golden exposition file
+// was generated from: every family type, label escaping, and a
+// histogram whose observations land in each bucket region.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Gauge("demo_cache_entries", "Entries in the cache.").Set(12.5)
+
+	h := r.HistogramVec("demo_latency_seconds", "Request latency.", []float64{0.25, 0.5, 2.5}, "route")
+	for _, v := range []float64{0.125, 0.25, 0.5, 1, 5} {
+		h.With("/v1/solve").Observe(v)
+	}
+
+	v := r.CounterVec("demo_requests_total", "Requests by route and code.", "route", "code")
+	v.With("/v1/solve", "200").Add(7)
+	v.With("esc\\aped\n", `"quoted"`).Inc()
+
+	r.Counter("demo_total", "Line one\nline \\ two").Add(3)
+	return r
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.prom")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden (run with -update to regenerate):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestHistogramExpositionInvariants parses the encoder's own output and
+// checks the structural promises Prometheus scrapers rely on: bucket
+// counts are cumulative and monotone, the +Inf bucket equals _count,
+// and every histogram emits _sum and _count.
+func TestHistogramExpositionInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var prev, inf, count uint64
+	var sawSum, sawCount, sawInf bool
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "demo_latency_seconds_bucket"):
+			n := sampleValue(t, line)
+			if n < prev {
+				t.Errorf("bucket counts not monotone: %q after %d", line, prev)
+			}
+			prev = n
+			if strings.Contains(line, `le="+Inf"`) {
+				inf, sawInf = n, true
+			}
+		case strings.HasPrefix(line, "demo_latency_seconds_sum"):
+			sawSum = true
+		case strings.HasPrefix(line, "demo_latency_seconds_count"):
+			count, sawCount = sampleValue(t, line), true
+		}
+	}
+	if !sawSum || !sawCount || !sawInf {
+		t.Fatalf("missing histogram series: sum=%v count=%v inf=%v", sawSum, sawCount, sawInf)
+	}
+	if inf != count {
+		t.Errorf("+Inf bucket %d != _count %d", inf, count)
+	}
+}
+
+func sampleValue(t *testing.T, line string) uint64 {
+	t.Helper()
+	i := strings.LastIndexByte(line, ' ')
+	n, err := strconv.ParseUint(line[i+1:], 10, 64)
+	if err != nil {
+		t.Fatalf("unparseable sample line %q: %v", line, err)
+	}
+	return n
+}
+
+func TestLabelOrderingFollowsRegistration(t *testing.T) {
+	r := NewRegistry()
+	// Labels must appear in registration order, not sorted: "route"
+	// before "code" here.
+	r.CounterVec("order_total", "h", "route", "code").With("/x", "500").Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `order_total{route="/x",code="500"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("output missing %q:\n%s", want, buf.String())
+	}
+}
+
+func TestHelpOmittedWhenEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nohelp_total", "").Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# HELP") {
+		t.Fatalf("HELP line emitted for empty help:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "# TYPE nohelp_total counter") {
+		t.Fatalf("TYPE line missing:\n%s", buf.String())
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	for v, want := range map[float64]string{
+		0.25: "0.25", 2.5: "2.5", 1e-9: "1e-09", 1234567: "1.234567e+06",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatBound(0.005); got != "0.005" {
+		t.Errorf("formatBound(0.005) = %q", got)
+	}
+}

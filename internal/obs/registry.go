@@ -1,0 +1,489 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType classifies a family for the exposition encoder.
+type MetricType uint8
+
+// Family types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String names the type in Prometheus exposition vocabulary.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// labelSep joins label values into a child key. 0xff never appears in
+// valid UTF-8 text, so distinct value tuples cannot collide.
+const labelSep = "\xff"
+
+// ValidMetricName reports whether name is a legal Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidLabelName reports whether name is a legal Prometheus label name:
+// [a-zA-Z_][a-zA-Z0-9_]*, excluding the reserved "__" prefix and the
+// histogram-reserved "le".
+func ValidLabelName(name string) bool {
+	if name == "" || name == "le" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Registry holds metric families by name. Construct with NewRegistry;
+// the zero value is not usable. All methods are safe for concurrent
+// use; the hot paths (increments, observations) never take the registry
+// lock — only handle resolution and Gather do.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family is one named metric: its metadata and its children (one per
+// label-value tuple; unlabeled families hold a single child under the
+// empty key).
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+// child is one concrete time series. Exactly one of the field groups is
+// live, selected by the family type (and fn, for function-backed
+// gauges).
+type child struct {
+	values []string // label values, aligned with family.labels
+
+	count atomic.Uint64 // counter value
+	bits  atomic.Uint64 // gauge value as float64 bits
+	fn    func() float64
+
+	// histogram state: bucketN[i] counts observations <= buckets[i];
+	// the last slot counts the rest (the +Inf bucket). Counts are
+	// per-bucket here and cumulated at snapshot time, so Observe is one
+	// atomic add.
+	bucketN []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the family under name, creating it on first use, and
+// panics when an existing family's shape (type, help, labels, buckets)
+// does not match — two call sites disagreeing about a metric is a bug
+// that silent merging would hide.
+func (r *Registry) lookup(name, help string, typ MetricType, labels []string, buckets []float64) *family {
+	if !ValidMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !ValidLabelName(l) {
+			panic(fmt.Sprintf("obs: metric %q: invalid label name %q", name, l))
+		}
+	}
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if f, ok = r.families[name]; !ok {
+			f = &family{name: name, help: help, typ: typ,
+				labels: append([]string(nil), labels...), buckets: append([]float64(nil), buckets...),
+				children: make(map[string]*child)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ || f.help != help || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+	}
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// childFor resolves (or creates) the child for a label-value tuple. The
+// read path is one RLock plus a map lookup — no allocation once the
+// child exists, which is what keeps Vec.With usable from hot paths.
+func (f *family) childFor(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := ""
+	switch len(values) {
+	case 0:
+	case 1:
+		key = values[0]
+	default:
+		key = strings.Join(values, labelSep)
+	}
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[key]; ok {
+		return c
+	}
+	c = &child{values: append([]string(nil), values...)}
+	if f.typ == TypeHistogram {
+		c.bucketN = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.children[key] = c
+	return c
+}
+
+// Counter is a monotonically increasing value. The update path is a
+// single atomic add: zero allocations, safe from any goroutine.
+type Counter struct{ c *child }
+
+// Inc adds one.
+func (c Counter) Inc() { c.c.count.Add(1) }
+
+// Add adds n.
+func (c Counter) Add(n uint64) { c.c.count.Add(n) }
+
+// Value returns the current count.
+func (c Counter) Value() uint64 { return c.c.count.Load() }
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+// Set is one atomic store; Add is a CAS loop — zero allocations either
+// way.
+type Gauge struct{ c *child }
+
+// Set replaces the value.
+func (g Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d (negative to decrease).
+func (g Gauge) Add(d float64) {
+	for {
+		old := g.c.bits.Load()
+		if g.c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g Gauge) Value() float64 { return math.Float64frombits(g.c.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Observe is one
+// binary search over the (small, fixed) bound slice plus two atomic
+// adds — zero allocations.
+type Histogram struct {
+	f *family
+	c *child
+}
+
+// Observe records one observation.
+func (h Histogram) Observe(v float64) {
+	// Binary search for the first bucket with v <= bound; the sentinel
+	// slot past the end is the +Inf bucket.
+	lo, hi := 0, len(h.f.buckets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.f.buckets[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.c.bucketN[lo].Add(1)
+	for {
+		old := h.c.sumBits.Load()
+		if h.c.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.c.bucketN {
+		n += h.c.bucketN[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h Histogram) Sum() float64 { return math.Float64frombits(h.c.sumBits.Load()) }
+
+// Counter returns the unlabeled counter registered under name,
+// creating it on first use.
+func (r *Registry) Counter(name, help string) Counter {
+	f := r.lookup(name, help, TypeCounter, nil, nil)
+	return Counter{f.childFor(nil)}
+}
+
+// Gauge returns the unlabeled gauge registered under name.
+func (r *Registry) Gauge(name, help string) Gauge {
+	f := r.lookup(name, help, TypeGauge, nil, nil)
+	return Gauge{f.childFor(nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at every
+// Gather — the seam for mirroring state owned elsewhere (a cache's
+// entry count) without double bookkeeping.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.lookup(name, help, TypeGauge, nil, nil)
+	f.childFor(nil).fn = fn
+}
+
+// Histogram returns the unlabeled histogram registered under name with
+// the given bucket upper bounds (which must be sorted ascending; the
+// +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
+	f := r.lookup(name, help, TypeHistogram, nil, checkBuckets(name, buckets))
+	return Histogram{f, f.childFor(nil)}
+}
+
+func checkBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q buckets must increase strictly", name))
+		}
+	}
+	if math.IsInf(buckets[len(buckets)-1], +1) {
+		panic(fmt.Sprintf("obs: histogram %q: the +Inf bucket is implicit", name))
+	}
+	return buckets
+}
+
+// CounterVec is a labeled counter family; resolve children with With.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family registered under name.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: vec %q needs labels (use Counter)", name))
+	}
+	return CounterVec{r.lookup(name, help, TypeCounter, labels, nil)}
+}
+
+// With returns the child counter for the label values (one per label,
+// in registration order), creating it on first use. Resolution for an
+// existing child is allocation-free, so With(value).Inc() is fine on
+// warm paths; truly hot loops should still hold the returned handle.
+func (v CounterVec) With(values ...string) Counter { return Counter{v.f.childFor(values)} }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family registered under name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: vec %q needs labels (use Gauge)", name))
+	}
+	return GaugeVec{r.lookup(name, help, TypeGauge, labels, nil)}
+}
+
+// With returns the child gauge for the label values.
+func (v GaugeVec) With(values ...string) Gauge { return Gauge{v.f.childFor(values)} }
+
+// Func registers a function-backed child for the label values, read at
+// every Gather.
+func (v GaugeVec) Func(fn func() float64, values ...string) { v.f.childFor(values).fn = fn }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family registered under
+// name with the given bucket upper bounds.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: vec %q needs labels (use Histogram)", name))
+	}
+	return HistogramVec{r.lookup(name, help, TypeHistogram, labels, checkBuckets(name, buckets))}
+}
+
+// With returns the child histogram for the label values.
+func (v HistogramVec) With(values ...string) Histogram { return Histogram{v.f, v.f.childFor(values)} }
+
+// DefTimeBuckets are the default latency buckets in seconds: half a
+// millisecond to a minute, roughly 2.5x apart — wide enough for both a
+// sub-millisecond cache hit and an exhaustive solve.
+var DefTimeBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// DefGapBuckets are the default optimality-gap buckets (relative gap,
+// 0 = proven at the bound).
+var DefGapBuckets = []float64{0, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// Family is one metric family in a Gather snapshot.
+type Family struct {
+	Name   string
+	Help   string
+	Type   MetricType
+	Labels []string
+	// Buckets are the histogram bucket upper bounds (nil otherwise).
+	Buckets []float64
+	// Metrics holds one entry per child, sorted by label values.
+	Metrics []Metric
+}
+
+// Metric is one child's snapshot.
+type Metric struct {
+	// LabelValues align with the family's Labels.
+	LabelValues []string
+	// Value is the counter count or gauge value (counters also keep the
+	// exact integer in CounterValue — float64 loses precision past 2^53).
+	Value        float64
+	CounterValue uint64
+	// Histogram state: CumulativeCounts[i] counts observations <=
+	// Buckets[i]; the final implicit +Inf count equals Count.
+	CumulativeCounts []uint64
+	Sum              float64
+	Count            uint64
+}
+
+// Gather snapshots every family, sorted by name (children sorted by
+// label values) — the stable order the exposition encoder and the tests
+// rely on. Each child is read with atomic loads; a snapshot taken while
+// writers run is a valid point-in-time view of each series, though not
+// an atomic cut across series.
+func (r *Registry) Gather() []Family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		ff := Family{Name: f.name, Help: f.help, Type: f.typ, Labels: f.labels, Buckets: f.buckets}
+		f.mu.RLock()
+		kids := make([]*child, 0, len(f.children))
+		for _, c := range f.children {
+			kids = append(kids, c)
+		}
+		f.mu.RUnlock()
+		sort.Slice(kids, func(i, j int) bool { return lessStrings(kids[i].values, kids[j].values) })
+		for _, c := range kids {
+			m := Metric{LabelValues: c.values}
+			switch f.typ {
+			case TypeCounter:
+				m.CounterValue = c.count.Load()
+				m.Value = float64(m.CounterValue)
+			case TypeGauge:
+				if c.fn != nil {
+					m.Value = c.fn()
+				} else {
+					m.Value = math.Float64frombits(c.bits.Load())
+				}
+			case TypeHistogram:
+				m.CumulativeCounts = make([]uint64, len(f.buckets))
+				var cum uint64
+				for i := range c.bucketN {
+					cum += c.bucketN[i].Load()
+					if i < len(f.buckets) {
+						m.CumulativeCounts[i] = cum
+					}
+				}
+				m.Count = cum
+				m.Sum = math.Float64frombits(c.sumBits.Load())
+			}
+			ff.Metrics = append(ff.Metrics, m)
+		}
+		out = append(out, ff)
+	}
+	return out
+}
+
+func lessStrings(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

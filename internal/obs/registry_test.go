@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Get-or-create: a second lookup shares the same state.
+	if got := r.Counter("test_total", "help").Value(); got != 42 {
+		t.Fatalf("re-resolved counter = %d, want 42", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %v, want 2.25", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.GaugeFunc("fn_gauge", "help", func() float64 { return v })
+	fams := r.Gather()
+	if len(fams) != 1 || fams[0].Metrics[0].Value != 7 {
+		t.Fatalf("gather = %+v, want single value 7", fams)
+	}
+	v = 9
+	if got := r.Gather()[0].Metrics[0].Value; got != 9 {
+		t.Fatalf("func gauge after change = %v, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-105.65) > 1e-9 {
+		t.Fatalf("sum = %v, want 105.65", got)
+	}
+	m := r.Gather()[0].Metrics[0]
+	// Cumulative: <=0.1 catches 0.05 and 0.1 (bound inclusive); <=1
+	// adds 0.5; <=10 adds 5; +Inf (Count) adds 100.
+	want := []uint64{2, 3, 4}
+	for i, w := range want {
+		if m.CumulativeCounts[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all %v)", i, m.CumulativeCounts[i], w, m.CumulativeCounts)
+		}
+	}
+	if m.Count != 5 {
+		t.Fatalf("snapshot count = %d, want 5", m.Count)
+	}
+}
+
+func TestVecChildrenAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("vec_total", "help", "strategy")
+	v.With("greedy").Add(3)
+	v.With("ilp").Add(5)
+	if a, b := v.With("greedy").Value(), v.With("ilp").Value(); a != 3 || b != 5 {
+		t.Fatalf("children = %d/%d, want 3/5", a, b)
+	}
+	// Multi-label values must not collide even when joined text could.
+	mv := r.CounterVec("multi_total", "help", "a", "b")
+	mv.With("x", "yz").Inc()
+	if got := mv.With("xy", "z").Value(); got != 0 {
+		t.Fatalf("distinct label tuples share a child (got %d)", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"type", func(r *Registry) { r.Counter("m_total", "h"); r.Gauge("m_total", "h") }},
+		{"help", func(r *Registry) { r.Counter("m_total", "h1"); r.Counter("m_total", "h2") }},
+		{"labels", func(r *Registry) { r.CounterVec("m_total", "h", "a"); r.CounterVec("m_total", "h", "b") }},
+		{"buckets", func(r *Registry) {
+			r.Histogram("m_seconds", "h", []float64{1, 2})
+			r.Histogram("m_seconds", "h", []float64{1, 3})
+		}},
+		{"bad metric name", func(r *Registry) { r.Counter("0bad", "h") }},
+		{"bad label name", func(r *Registry) { r.CounterVec("m_total", "h", "0bad") }},
+		{"le label", func(r *Registry) { r.HistogramVec("m_seconds", "h", []float64{1}, "le") }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("m_seconds", "h", []float64{2, 1}) }},
+		{"explicit inf bucket", func(r *Registry) { r.Histogram("m_seconds", "h", []float64{1, math.Inf(1)}) }},
+		{"wrong arity", func(r *Registry) { r.CounterVec("m_total", "h", "a").With("x", "y") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+// TestHotPathsAllocationFree pins the zero-allocation contract on every
+// update path the solver and serving layers hit per solve or per
+// request. A regression here would show up as allocs/op growth in the
+// benchmark trajectory gate, but this test names the culprit directly.
+func TestHotPathsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h_seconds", "h", DefTimeBuckets)
+	vec := r.CounterVec("v_total", "h", "strategy")
+	vec.With("greedy") // pre-create the child
+	hv := r.HistogramVec("hv_seconds", "h", DefTimeBuckets, "route")
+	hv.With("/v1/solve")
+
+	pins := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.Add", func() { g.Add(-0.5) }},
+		{"Histogram.Observe", func() { h.Observe(0.042) }},
+		{"CounterVec.With(existing).Inc", func() { vec.With("greedy").Inc() }},
+		{"HistogramVec.With(existing).Observe", func() { hv.With("/v1/solve").Observe(0.042) }},
+	}
+	for _, p := range pins {
+		if n := testing.AllocsPerRun(200, p.fn); n != 0 {
+			t.Errorf("%s allocates %.1f/op, want 0", p.name, n)
+		}
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines —
+// meaningful under -race, and checks the totals line up.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("cc_total", "h")
+			g := r.Gauge("gg", "h")
+			h := r.Histogram("hh_seconds", "h", []float64{0.5})
+			v := r.CounterVec("vv_total", "h", "k")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+				v.With("x").Inc()
+				if i%100 == 0 {
+					r.Gather()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("cc_total", "h").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("gg", "h").Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %d", got, workers*per)
+	}
+	h := r.Histogram("hh_seconds", "h", []float64{0.5})
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); got != workers*per*0.25 {
+		t.Errorf("histogram sum = %v, want %v", got, workers*per*0.25)
+	}
+}
+
+func TestGatherSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "h")
+	r.Counter("aa_total", "h")
+	v := r.CounterVec("mm_total", "h", "k")
+	v.With("zebra").Inc()
+	v.With("ant").Inc()
+	fams := r.Gather()
+	if fams[0].Name != "aa_total" || fams[1].Name != "mm_total" || fams[2].Name != "zz_total" {
+		t.Fatalf("families out of order: %v %v %v", fams[0].Name, fams[1].Name, fams[2].Name)
+	}
+	if fams[1].Metrics[0].LabelValues[0] != "ant" || fams[1].Metrics[1].LabelValues[0] != "zebra" {
+		t.Fatalf("children out of order: %+v", fams[1].Metrics)
+	}
+}
+
+func TestValidators(t *testing.T) {
+	for name, want := range map[string]bool{
+		"soctam_total": true, "a:b": true, "_x": true, "": false, "9x": false, "a-b": false,
+	} {
+		if got := ValidMetricName(name); got != want {
+			t.Errorf("ValidMetricName(%q) = %v, want %v", name, got, want)
+		}
+	}
+	for name, want := range map[string]bool{
+		"strategy": true, "_x": true, "": false, "le": false, "__reserved": false, "a:b": false, "9x": false,
+	} {
+		if got := ValidLabelName(name); got != want {
+			t.Errorf("ValidLabelName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

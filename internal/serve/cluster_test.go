@@ -264,7 +264,7 @@ func TestClusterRoutesToOwner(t *testing.T) {
 	if routedAway == 0 {
 		t.Fatal("every variant hashed to the entry node; fixture gives no routing coverage")
 	}
-	if got := nodes[0].sv.rt.routed.Load(); got < int64(routedAway) {
+	if got := nodes[0].sv.rt.routed.Value(); got < uint64(routedAway) {
 		t.Errorf("entry node forwarded %d requests, want at least %d", got, routedAway)
 	}
 	var solved int64
@@ -360,7 +360,7 @@ func TestClusterNoRerouteLoop(t *testing.T) {
 	if out.Degraded {
 		t.Error("marked request counted as degraded")
 	}
-	if got := nodes[0].sv.rt.routed.Load(); got != 0 {
+	if got := nodes[0].sv.rt.routed.Value(); got != 0 {
 		t.Errorf("marked request was re-forwarded (%d forwards)", got)
 	}
 }

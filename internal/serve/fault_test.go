@@ -65,12 +65,12 @@ func TestClusterDegradesWhenOwnerDown(t *testing.T) {
 
 	// The peer is now marked down: the next job degrades immediately,
 	// without paying another failed forward.
-	before := nodes[0].sv.rt.routedErrors.Load()
+	before := nodes[0].sv.rt.routedErrors.Value()
 	resp, raw = postJSON(t, nodes[0].ts.URL+"/v1/solve", body)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("second degraded solve status %d: %s", resp.StatusCode, raw)
 	}
-	if got := nodes[0].sv.rt.routedErrors.Load(); got != before {
+	if got := nodes[0].sv.rt.routedErrors.Value(); got != before {
 		t.Errorf("marked-down peer was retried (%d -> %d forward errors)", before, got)
 	}
 }
@@ -315,7 +315,7 @@ func TestClusterWarmHandoffOnRecovery(t *testing.T) {
 
 	owner.restore()
 	eventually(t, 5*time.Second, "warm handoff to reach the recovered owner", func() bool {
-		return nodes[0].sv.rt.warmPushed.Load() >= 1
+		return nodes[0].sv.rt.warmPushed.Value() >= 1
 	})
 	if nodes[0].sv.rt.warmlog.Len() != 0 {
 		t.Errorf("warm log still holds %d jobs after handoff", nodes[0].sv.rt.warmlog.Len())

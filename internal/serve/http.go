@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -321,20 +322,39 @@ func decodeStrict(body []byte, v any) *httpError {
 
 // Handler returns the service's HTTP handler: POST /v1/solve, POST
 // /v1/batch, POST /v1/stream, GET /v1/solvers, GET /v1/healthz, GET
-// /v1/stats. Every response is JSON (NDJSON for batch and stream); see
-// API.md for the schemas, error codes and curl examples.
+// /v1/stats, GET /metrics (Prometheus text exposition of the server's
+// registry) and, when Config.Pprof is set, GET /debug/pprof/*. Every
+// v1 response is JSON (NDJSON for batch and stream); see API.md for
+// the schemas, error codes and curl examples. Each route is
+// instrumented with request/latency/status metrics under its
+// registered pattern (unknown paths aggregate under "other", keeping
+// label cardinality bounded).
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/solve", method(http.MethodPost, sv.handleSolve))
-	mux.HandleFunc("/v1/batch", method(http.MethodPost, sv.handleBatch))
-	mux.HandleFunc("/v1/stream", method(http.MethodPost, sv.handleStream))
-	mux.HandleFunc("/v1/solvers", method(http.MethodGet, sv.handleSolvers))
-	mux.HandleFunc("/v1/healthz", method(http.MethodGet, sv.handleHealthz))
-	mux.HandleFunc("/v1/stats", method(http.MethodGet, sv.handleStats))
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(route, verb string, h http.HandlerFunc) {
+		mux.HandleFunc(route, sv.instrument(route, method(verb, h)))
+	}
+	handle("/v1/solve", http.MethodPost, sv.handleSolve)
+	handle("/v1/batch", http.MethodPost, sv.handleBatch)
+	handle("/v1/stream", http.MethodPost, sv.handleStream)
+	handle("/v1/solvers", http.MethodGet, sv.handleSolvers)
+	handle("/v1/healthz", http.MethodGet, sv.handleHealthz)
+	handle("/v1/stats", http.MethodGet, sv.handleStats)
+	handle("/metrics", http.MethodGet, sv.handleMetrics)
+	endpoints := "/v1/solve, /v1/batch, /v1/stream, /v1/solvers, /v1/healthz, /v1/stats, /metrics"
+	if sv.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", sv.instrument("/debug/pprof/", pprof.Index))
+		mux.HandleFunc("/debug/pprof/cmdline", sv.instrument("/debug/pprof/", pprof.Cmdline))
+		mux.HandleFunc("/debug/pprof/profile", sv.instrument("/debug/pprof/", pprof.Profile))
+		mux.HandleFunc("/debug/pprof/symbol", sv.instrument("/debug/pprof/", pprof.Symbol))
+		mux.HandleFunc("/debug/pprof/trace", sv.instrument("/debug/pprof/", pprof.Trace))
+		endpoints += ", /debug/pprof/"
+	}
+	notFound := fmt.Sprintf("(have %s)", endpoints)
+	mux.HandleFunc("/", sv.instrument("other", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &httpError{status: http.StatusNotFound, code: "not_found",
-			msg: fmt.Sprintf("no such endpoint %s (have /v1/solve, /v1/batch, /v1/stream, /v1/solvers, /v1/healthz, /v1/stats)", r.URL.Path)})
-	})
+			msg: fmt.Sprintf("no such endpoint %s %s", r.URL.Path, notFound)})
+	}))
 	return mux
 }
 
@@ -360,7 +380,7 @@ func (sv *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sv.failed.Add(1) // count like a malformed batch job would be
+	sv.m.failed.Inc() // count like a malformed batch job would be
 	writeError(w, he)
 }
 
@@ -370,7 +390,7 @@ func (sv *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 func (sv *Server) serveSolve(w http.ResponseWriter, r *http.Request, req *solveRequest, body []byte) {
 	s, width, opt, he := parseJob(req)
 	if he != nil {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		writeError(w, he)
 		return
 	}
@@ -382,7 +402,7 @@ func (sv *Server) serveSolve(w http.ResponseWriter, r *http.Request, req *solveR
 		degraded = true
 	}
 	if degraded {
-		sv.rt.degraded.Add(1)
+		sv.rt.degraded.Inc()
 	}
 	resp, he := sv.solveParsed(r, s, width, opt)
 	if he != nil {
@@ -499,23 +519,23 @@ type batchLine struct {
 func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, he := sv.readBody(w, r)
 	if he != nil {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		writeError(w, he)
 		return
 	}
 	var req batchRequest
 	if he := decodeStrict(body, &req); he != nil {
-		sv.failed.Add(1) // a whole-batch rejection counts once
+		sv.m.failed.Inc() // a whole-batch rejection counts once
 		writeError(w, he)
 		return
 	}
 	if len(req.Jobs) == 0 {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		writeError(w, badRequest("batch has no jobs"))
 		return
 	}
 	if max := sv.cfg.maxBatchJobs(); len(req.Jobs) > max {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		writeError(w, &httpError{status: http.StatusRequestEntityTooLarge, code: "too_large",
 			msg: fmt.Sprintf("batch has %d jobs, limit is %d", len(req.Jobs), max)})
 		return
@@ -561,13 +581,13 @@ func (sv *Server) batchJob(r *http.Request, i int, raw json.RawMessage) batchLin
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&jr); err != nil {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		he := badRequest("job %d: %v", i, err)
 		return batchLine{Job: i, Error: &errorBody{Code: he.code, Message: he.msg}}
 	}
 	s, width, opt, he := parseJob(&jr)
 	if he != nil {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		return batchLine{Job: i, Error: &errorBody{Code: he.code, Message: he.msg}}
 	}
 	p, degraded := sv.routeFor(r, s.Digest())
@@ -582,7 +602,7 @@ func (sv *Server) batchJob(r *http.Request, i int, raw json.RawMessage) batchLin
 		degraded = true
 	}
 	if degraded {
-		sv.rt.degraded.Add(1)
+		sv.rt.degraded.Inc()
 	}
 	resp, he := sv.solveParsed(r, s, width, opt)
 	if he != nil {
@@ -628,19 +648,19 @@ type streamLine struct {
 func (sv *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	body, he := sv.readBody(w, r)
 	if he != nil {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		writeError(w, he)
 		return
 	}
 	var req solveRequest
 	if he := decodeStrict(body, &req); he != nil {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		writeError(w, he)
 		return
 	}
 	s, width, opt, he := parseJob(&req)
 	if he != nil {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		writeError(w, he)
 		return
 	}
@@ -652,7 +672,7 @@ func (sv *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		degraded = true
 	}
 	if degraded {
-		sv.rt.degraded.Add(1)
+		sv.rt.degraded.Inc()
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")

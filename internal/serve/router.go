@@ -16,6 +16,7 @@ import (
 
 	"soctam/internal/cache"
 	"soctam/internal/coopt"
+	"soctam/internal/obs"
 	"soctam/internal/ring"
 	"soctam/internal/soc"
 )
@@ -82,10 +83,12 @@ type router struct {
 	// the job, never the result — see the package comment above.
 	warmlog *cache.LRU[string, warmJob]
 
-	routed       atomic.Int64 // requests answered by forwarding to the owner
-	routedErrors atomic.Int64 // forwards that failed (and degraded)
-	degraded     atomic.Int64 // jobs solved locally although a peer owns them
-	warmPushed   atomic.Int64 // warm-handoff replays accepted by a recovered owner
+	// Registry-backed counters (see metrics.go): /metrics and the
+	// /v1/stats ring section read the same handles.
+	routed       obs.Counter // requests answered by forwarding to the owner
+	routedErrors obs.Counter // forwards that failed (and degraded)
+	degraded     obs.Counter // jobs solved locally although a peer owns them
+	warmPushed   obs.Counter // warm-handoff replays accepted by a recovered owner
 }
 
 // warmJob is one warm-handoff candidate: the routing digest and the
@@ -115,8 +118,9 @@ func normalizePeer(addr string) (string, error) {
 }
 
 // newRouter builds the sharding state from Config, or returns (nil,
-// nil) for a single-node server.
-func newRouter(cfg Config) (*router, error) {
+// nil) for a single-node server. The ring counters and per-peer health
+// gauges are registered on reg.
+func newRouter(cfg Config, reg *obs.Registry) (*router, error) {
 	if len(cfg.Peers) == 0 {
 		if cfg.Self != "" {
 			return nil, errors.New("serve: Config.Self set without Config.Peers")
@@ -134,7 +138,18 @@ func newRouter(cfg Config) (*router, error) {
 		self:  self,
 		ring:  ring.New(0),
 		peers: make(map[string]*peer),
+		routed: reg.Counter("soctam_ring_routed_total",
+			"Requests answered by forwarding to the owning peer."),
+		routedErrors: reg.Counter("soctam_ring_routed_errors_total",
+			"Forwards that failed (each one degraded to a local solve)."),
+		degraded: reg.Counter("soctam_ring_degraded_total",
+			"Jobs solved locally although a peer owns their digest."),
+		warmPushed: reg.Counter("soctam_ring_warm_pushed_total",
+			"Warm-handoff replays accepted by recovered owners."),
 	}
+	peerUp := reg.GaugeVec("soctam_ring_peer_up",
+		"Last known health of each ring member (1 = up), read at scrape time.", "peer")
+	peerUp.Func(func() float64 { return 1 }, self) // self is up by definition
 	rt.ring.Add(self)
 	for _, raw := range cfg.Peers {
 		name, err := normalizePeer(raw)
@@ -150,6 +165,12 @@ func newRouter(cfg Config) (*router, error) {
 		// flips it), while a wrong "down" would shed the whole warm-up.
 		p.up.Store(true)
 		rt.peers[name] = p
+		peerUp.Func(func() float64 {
+			if p.up.Load() {
+				return 1
+			}
+			return 0
+		}, name)
 	}
 	timeout := cfg.peerTimeout()
 	rt.client = &http.Client{Timeout: timeout}
@@ -201,7 +222,7 @@ func (sv *Server) routeFor(r *http.Request, digest string) (p *peer, degraded bo
 func (rt *router) forward(ctx context.Context, p *peer, path string, body []byte) (*http.Response, []byte, bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+path, bytes.NewReader(body))
 	if err != nil {
-		rt.routedErrors.Add(1)
+		rt.routedErrors.Inc()
 		return nil, nil, false
 	}
 	req.Header.Set("Content-Type", "application/json")
@@ -211,7 +232,7 @@ func (rt *router) forward(ctx context.Context, p *peer, path string, body []byte
 		if ctx.Err() == nil {
 			p.up.Store(false) // the peer failed us, not the caller hanging up
 		}
-		rt.routedErrors.Add(1)
+		rt.routedErrors.Inc()
 		return nil, nil, false
 	}
 	defer resp.Body.Close()
@@ -220,7 +241,7 @@ func (rt *router) forward(ctx context.Context, p *peer, path string, body []byte
 		if ctx.Err() == nil {
 			p.up.Store(false)
 		}
-		rt.routedErrors.Add(1)
+		rt.routedErrors.Inc()
 		return nil, nil, false
 	}
 	return resp, raw, true
@@ -235,7 +256,7 @@ func (sv *Server) forwardSolve(w http.ResponseWriter, r *http.Request, p *peer, 
 	if !ok {
 		return false
 	}
-	sv.rt.routed.Add(1)
+	sv.rt.routed.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
@@ -257,18 +278,18 @@ func (rt *router) forwardBatchJob(ctx context.Context, p *peer, raw []byte) (*so
 	if resp.StatusCode == http.StatusOK {
 		var out solveResponse
 		if err := json.Unmarshal(body, &out); err != nil {
-			rt.routedErrors.Add(1)
+			rt.routedErrors.Inc()
 			return nil, nil, false
 		}
-		rt.routed.Add(1)
+		rt.routed.Inc()
 		return &out, nil, true
 	}
 	var e errorJSON
 	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" {
-		rt.routedErrors.Add(1)
+		rt.routedErrors.Inc()
 		return nil, nil, false
 	}
-	rt.routed.Add(1)
+	rt.routed.Inc()
 	return nil, &e.Error, true
 }
 
@@ -281,7 +302,7 @@ func (sv *Server) forwardStream(w http.ResponseWriter, r *http.Request, p *peer,
 	rt := sv.rt
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, p.base+"/v1/stream", bytes.NewReader(body))
 	if err != nil {
-		rt.routedErrors.Add(1)
+		rt.routedErrors.Inc()
 		return false
 	}
 	req.Header.Set("Content-Type", "application/json")
@@ -291,7 +312,7 @@ func (sv *Server) forwardStream(w http.ResponseWriter, r *http.Request, p *peer,
 		if r.Context().Err() == nil {
 			p.up.Store(false)
 		}
-		rt.routedErrors.Add(1)
+		rt.routedErrors.Inc()
 		return false
 	}
 	defer resp.Body.Close()
@@ -302,10 +323,10 @@ func (sv *Server) forwardStream(w http.ResponseWriter, r *http.Request, p *peer,
 		if r.Context().Err() == nil {
 			p.up.Store(false)
 		}
-		rt.routedErrors.Add(1)
+		rt.routedErrors.Inc()
 		return false
 	}
-	rt.routed.Add(1)
+	rt.routed.Inc()
 	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
@@ -453,7 +474,7 @@ func (sv *Server) warmPush(p *peer) {
 		switch resp.StatusCode {
 		case http.StatusOK:
 			rt.warmlog.Remove(key)
-			rt.warmPushed.Add(1)
+			rt.warmPushed.Inc()
 			pushed++
 		case http.StatusTooManyRequests:
 			return

@@ -13,6 +13,7 @@ import (
 
 	"soctam/internal/cache"
 	"soctam/internal/coopt"
+	"soctam/internal/obs"
 	"soctam/internal/soc"
 )
 
@@ -98,6 +99,11 @@ type Config struct {
 	// ProbeInterval is the peer health-probe cadence; 0 means
 	// DefaultProbeInterval.
 	ProbeInterval time.Duration
+	// Pprof exposes GET /debug/pprof/* (the net/http/pprof profiling
+	// endpoints) on the service handler. Off by default: profiling
+	// endpoints reveal internals and cost CPU, so they are opt-in
+	// (`wtamd -pprof`).
+	Pprof bool
 }
 
 func (c Config) workers() int {
@@ -182,16 +188,16 @@ type Server struct {
 	escq chan escJob // escalation backlog; nil = escalation disabled
 	rt   *router     // digest-sharded routing state; nil = single node
 
-	completed   atomic.Int64 // jobs answered successfully
-	failed      atomic.Int64 // jobs answered with an error
-	inFlight    atomic.Int64 // solves currently holding a pool slot
-	occupancy   atomic.Int64 // cold solves admitted (waiting or running)
-	shed        atomic.Int64 // cold solves rejected by admission control
-	solved      atomic.Int64 // cold solves actually run
-	coalesced   atomic.Int64 // jobs served by waiting on another's solve
-	solveNanos  atomic.Int64 // summed cold-solve wall clock
-	escAttempts atomic.Int64 // escalation solves attempted
-	escalated   atomic.Int64 // cache entries upgraded by escalation
+	// occupancy is admission-control bookkeeping (cold solves admitted,
+	// waiting or running), not a published stat — it stays a raw atomic.
+	occupancy atomic.Int64
+
+	// Every published counter lives in reg; m holds the resolved
+	// handles and cm the solver-side ones (see metrics.go). /v1/stats
+	// and /metrics both read reg, so they cannot disagree.
+	reg *obs.Registry
+	m   serverMetrics
+	cm  *coopt.Metrics
 }
 
 // ErrOverloaded is matched (errors.Is) by the OverloadedError a shed
@@ -245,7 +251,8 @@ func New(cfg Config) *Server {
 // panicking: a bad peer list is a deployment mistake the daemon should
 // print, not a programming bug.
 func NewCluster(cfg Config) (*Server, error) {
-	rt, err := newRouter(cfg)
+	reg := obs.NewRegistry()
+	rt, err := newRouter(cfg, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -258,13 +265,30 @@ func NewCluster(cfg Config) (*Server, error) {
 		started: time.Now(),
 		flights: make(map[string]*flight),
 		rt:      rt,
+		reg:     reg,
+		m:       newServerMetrics(reg),
+		cm:      coopt.NewMetrics(reg),
 	}
+	reg.GaugeFunc("soctam_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(sv.started).Seconds() })
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
 		if size == 0 {
 			size = DefaultCacheSize
 		}
 		sv.results = cache.New[string, coopt.Result](size)
+		// The LRU fires these under its own mutex, synchronously with its
+		// internal counters, so the registry's view and cache.Stats() can
+		// never drift apart.
+		sv.m.resolveCacheMetrics(reg)
+		sv.results.SetHooks(cache.Hooks{
+			Hit:   sv.m.cacheHits.Inc,
+			Miss:  sv.m.cacheMisses.Inc,
+			Evict: sv.m.cacheEvictions.Inc,
+		})
+		reg.GaugeFunc("soctam_cache_entries", "Result-cache entries currently stored.",
+			func() float64 { return float64(sv.results.Len()) })
+		reg.Gauge("soctam_cache_capacity", "Result-cache capacity in entries.").Set(float64(size))
 	}
 	// Escalation needs a cache to upgrade; with caching disabled the
 	// worker would have nowhere to put a proven result.
@@ -354,7 +378,7 @@ func (sv *Server) SolveStream(ctx context.Context, s *soc.SOC, width int, opt co
 func (sv *Server) solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Options, fn coopt.ProgressFunc) (coopt.Result, Meta, error) {
 	t0 := time.Now()
 	if err := s.Validate(); err != nil {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		return coopt.Result{}, Meta{}, err
 	}
 	norm := opt.Normalized()
@@ -369,7 +393,7 @@ func (sv *Server) solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Op
 			// too — a complete answer within any deadline.
 			meta.Cached = true
 			meta.Elapsed = time.Since(t0)
-			sv.completed.Add(1)
+			sv.m.completed.Inc()
 			return remapResult(res, perm), meta, nil
 		}
 	}
@@ -387,7 +411,7 @@ func (sv *Server) solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Op
 		res, meta.Coalesced, err = sv.solveShared(ctx, meta.Key, canon, width, norm)
 	}
 	if err != nil {
-		sv.failed.Add(1)
+		sv.m.failed.Inc()
 		return coopt.Result{}, meta, err
 	}
 	if sv.rt != nil && !res.Truncated {
@@ -398,7 +422,7 @@ func (sv *Server) solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Op
 		sv.rt.maybeRecordWarm(meta.Key, meta.Digest, canon, width, norm)
 	}
 	meta.Elapsed = time.Since(t0)
-	sv.completed.Add(1)
+	sv.m.completed.Inc()
 	return remapResult(res, perm), meta, nil
 }
 
@@ -408,8 +432,8 @@ func (sv *Server) solve(ctx context.Context, s *soc.SOC, width int, opt coopt.Op
 // sane even before the first solve has finished.
 func (sv *Server) retryAfter() time.Duration {
 	avg := 500 * time.Millisecond
-	if n := sv.solved.Load(); n > 0 {
-		avg = time.Duration(sv.solveNanos.Load() / n)
+	if n := sv.m.solveSeconds.Count(); n > 0 {
+		avg = time.Duration(sv.m.solveSeconds.Sum() / float64(n) * float64(time.Second))
 	}
 	waiting := sv.occupancy.Load() - int64(sv.cfg.workers())
 	if waiting < 1 {
@@ -437,7 +461,7 @@ func (sv *Server) solveShared(ctx context.Context, key string, canon *soc.SOC, w
 			select {
 			case <-f.done:
 				if f.err == nil {
-					sv.coalesced.Add(1)
+					sv.m.coalesced.Inc()
 					return f.res, true, nil
 				}
 				// The one leader failure that is the leader's own, not
@@ -481,7 +505,7 @@ func (sv *Server) solveCold(ctx context.Context, canon *soc.SOC, width int, norm
 	if limit := sv.cfg.admissionLimit(); limit > 0 {
 		if sv.occupancy.Add(1) > int64(limit) {
 			sv.occupancy.Add(-1)
-			sv.shed.Add(1)
+			sv.m.shed.Inc()
 			return coopt.Result{}, &OverloadedError{RetryAfter: sv.retryAfter()}
 		}
 		defer sv.occupancy.Add(-1)
@@ -494,17 +518,17 @@ func (sv *Server) solveCold(ctx context.Context, canon *soc.SOC, width int, norm
 		return coopt.Result{}, sv.base.Err()
 	}
 	defer func() { <-sv.sem }()
-	sv.inFlight.Add(1)
-	defer sv.inFlight.Add(-1)
+	sv.m.inFlight.Add(1)
+	defer sv.m.inFlight.Add(-1)
 
 	norm.Workers = sv.cfg.solveWorkers()
 	t0 := time.Now()
-	res, err := coopt.SolveContext(sv.base, canon, width, norm)
-	sv.solveNanos.Add(time.Since(t0).Nanoseconds())
+	res, err := coopt.SolveObserved(sv.base, canon, width, norm, sv.cm)
+	sv.m.solveSeconds.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		return coopt.Result{}, err
 	}
-	sv.solved.Add(1)
+	sv.m.solved.Inc()
 	return res, nil
 }
 
@@ -564,19 +588,19 @@ func (sv *Server) escalateOne(j escJob) {
 		return
 	}
 	defer func() { <-sv.sem }()
-	sv.escAttempts.Add(1)
+	sv.m.escAttempts.Inc()
 
 	opt := j.norm
 	opt.Strategy = coopt.StrategyILP
 	opt.Portfolio = ""
 	opt.Budget = sv.cfg.escalateBudget()
 	opt.Workers = sv.cfg.solveWorkers()
-	res, err := coopt.SolveContext(sv.base, j.canon, j.width, opt)
+	res, err := coopt.SolveObserved(sv.base, j.canon, j.width, opt, sv.cm)
 	if err != nil || res.Truncated || !res.Proven || res.Time > cur.Time {
 		return
 	}
 	sv.results.Put(j.key, res)
-	sv.escalated.Add(1)
+	sv.m.escalated.Inc()
 }
 
 // remapResult re-indexes a canonical-order result onto the query's core
@@ -686,43 +710,52 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
-// Stats returns a point-in-time snapshot of the service counters.
+// Stats returns a point-in-time snapshot of the service counters. It
+// is a reader of the same registry GET /metrics encodes — every value
+// below is a handle read, not a second set of books — so the two
+// surfaces agree by construction (the only caveat is that concurrent
+// writers can advance one counter between two reads, the same
+// point-in-time skew any snapshot of live atomics has).
 func (sv *Server) Stats() Stats {
 	st := Stats{
 		UptimeSeconds: time.Since(sv.started).Seconds(),
 		Workers:       sv.cfg.workers(),
 		SolveWorkers:  sv.cfg.solveWorkers(),
 		Jobs: JobStats{
-			Completed:    sv.completed.Load(),
-			Failed:       sv.failed.Load(),
-			InFlight:     sv.inFlight.Load(),
-			Solved:       sv.solved.Load(),
-			Coalesced:    sv.coalesced.Load(),
-			Shed:         sv.shed.Load(),
-			SolveSeconds: time.Duration(sv.solveNanos.Load()).Seconds(),
-			Escalations:  sv.escAttempts.Load(),
-			Escalated:    sv.escalated.Load(),
+			Completed:    int64(sv.m.completed.Value()),
+			Failed:       int64(sv.m.failed.Value()),
+			InFlight:     int64(sv.m.inFlight.Value()),
+			Solved:       int64(sv.m.solved.Value()),
+			Coalesced:    int64(sv.m.coalesced.Value()),
+			Shed:         int64(sv.m.shed.Value()),
+			SolveSeconds: sv.m.solveSeconds.Sum(),
+			Escalations:  int64(sv.m.escAttempts.Value()),
+			Escalated:    int64(sv.m.escalated.Value()),
 		},
 	}
 	if sv.results != nil {
 		cs := sv.results.Stats()
 		st.Cache = CacheStats{
-			Enabled:   true,
-			Entries:   cs.Len,
-			Capacity:  cs.Capacity,
-			Hits:      cs.Hits,
-			Misses:    cs.Misses,
-			Evictions: cs.Evictions,
-			HitRate:   cs.HitRate(),
+			Enabled:  true,
+			Entries:  cs.Len,
+			Capacity: cs.Capacity,
+			// Counters from the registry handles; the LRU hooks keep them
+			// identical to the cache's own (see NewCluster).
+			Hits:      sv.m.cacheHits.Value(),
+			Misses:    sv.m.cacheMisses.Value(),
+			Evictions: sv.m.cacheEvictions.Value(),
+		}
+		if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
+			st.Cache.HitRate = float64(st.Cache.Hits) / float64(total)
 		}
 	}
 	if sv.rt != nil {
 		rs := &RingStats{
 			Self:         sv.rt.self,
-			Routed:       sv.rt.routed.Load(),
-			RoutedErrors: sv.rt.routedErrors.Load(),
-			Degraded:     sv.rt.degraded.Load(),
-			WarmPushed:   sv.rt.warmPushed.Load(),
+			Routed:       int64(sv.rt.routed.Value()),
+			RoutedErrors: int64(sv.rt.routedErrors.Value()),
+			Degraded:     int64(sv.rt.degraded.Value()),
+			WarmPushed:   int64(sv.rt.warmPushed.Value()),
 		}
 		for _, m := range sv.rt.ring.Members() {
 			ps := PeerStatus{Addr: m}

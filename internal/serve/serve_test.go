@@ -279,7 +279,7 @@ func TestFollowerSurvivesLeaderCancellation(t *testing.T) {
 		_, _, _ = sv.Solve(context.Background(), slow, 40, coopt.Options{})
 	}()
 	deadline := time.Now().Add(10 * time.Second)
-	for sv.inFlight.Load() == 0 {
+	for sv.m.inFlight.Value() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("slow solve never took the pool slot")
 		}

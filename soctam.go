@@ -100,6 +100,10 @@ type (
 	ProgressFunc = coopt.ProgressFunc
 	// ProgressKind classifies a ProgressEvent.
 	ProgressKind = coopt.ProgressKind
+	// SolveTrace renders one solve's backend lifecycle as a span tree:
+	// hook into Options.Progress, Finish with the outcome, WriteTree
+	// (what `wtam -trace` prints).
+	SolveTrace = coopt.SolveTrace
 
 	// PackingSchedule is a rectangle bin-packing of an SOC's tests.
 	PackingSchedule = pack.Schedule
@@ -268,6 +272,12 @@ func Solve(s *SOC, totalWidth int, opt Options) (Result, error) {
 func SolveContext(ctx context.Context, s *SOC, totalWidth int, opt Options) (Result, error) {
 	return coopt.SolveContext(ctx, s, totalWidth, opt)
 }
+
+// NewSolveTrace starts a span trace for one solve: chain its Hook into
+// Options.Progress, run the solve, Finish with the outcome, then
+// WriteTree to render per-backend spans with incumbent events — the
+// tree `wtam -trace` prints. The name labels the tree header.
+func NewSolveTrace(name string) *SolveTrace { return coopt.NewSolveTrace(name) }
 
 // CoOptimize designs a complete test access architecture for the SOC
 // under a total TAM width budget (problem P_NPAW): TAM count, width
